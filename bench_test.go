@@ -1,0 +1,188 @@
+// Package nexsim's root benchmarks expose one testing.B target per table
+// and figure of the paper's evaluation (§6). Each benchmark iteration is
+// one representative full-stack simulation run (the complete sweeps live
+// in cmd/paperbench; these targets let `go test -bench` regenerate the
+// headline row of each result quickly and track regressions).
+package nexsim
+
+import (
+	"io"
+	"testing"
+
+	"nexsim/internal/core"
+	"nexsim/internal/experiments"
+	"nexsim/internal/nex"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// runOnce executes one benchmark under one combination.
+func runOnce(b *testing.B, name string, host core.HostKind, acc core.AccelKind, ncfg nex.Config) {
+	b.Helper()
+	bench, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Host: host, Accel: acc, Model: bench.Model, Devices: bench.Devices,
+		Cores: 16, Seed: 42,
+	}
+	cfg.NEX = ncfg
+	sys := core.Build(cfg)
+	res := sys.Run(bench.Build(&sys.Ctx))
+	if res.SimTime <= 0 {
+		b.Fatalf("%s on %v+%v produced no simulated time", name, host, acc)
+	}
+	b.ReportMetric(res.SimTime.Seconds()*1e3, "simulated-ms")
+}
+
+// --- Table 1 / Figure 4: the four simulator combinations on a
+// single-accelerator application. ---
+
+func BenchmarkTable1_Gem5RTL_JPEG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-decode", core.HostGem5, core.AccelRTL, nex.Config{})
+	}
+}
+
+func BenchmarkTable1_Gem5DSim_JPEG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-decode", core.HostGem5, core.AccelDSim, nex.Config{})
+	}
+}
+
+func BenchmarkTable1_NEXRTL_JPEG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-decode", core.HostNEX, core.AccelRTL, nex.Config{})
+	}
+}
+
+func BenchmarkTable1_NEXDSim_JPEG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-decode", core.HostNEX, core.AccelDSim, nex.Config{})
+	}
+}
+
+// --- Figure 3: baseline vs NEX+DSim per workload family. ---
+
+func BenchmarkFig3_VTAResnet18_Gem5RTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "vta-resnet18", core.HostGem5, core.AccelRTL, nex.Config{})
+	}
+}
+
+func BenchmarkFig3_VTAResnet18_NEXDSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "vta-resnet18", core.HostNEX, core.AccelDSim, nex.Config{})
+	}
+}
+
+func BenchmarkFig3_Protoacc0_Gem5RTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "protoacc-bench0", core.HostGem5, core.AccelRTL, nex.Config{})
+	}
+}
+
+func BenchmarkFig3_Protoacc0_NEXDSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "protoacc-bench0", core.HostNEX, core.AccelDSim, nex.Config{})
+	}
+}
+
+func BenchmarkFig3_JPEGmt8_Gem5RTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-mt.8", core.HostGem5, core.AccelRTL, nex.Config{})
+	}
+}
+
+func BenchmarkFig3_JPEGmt8_NEXDSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-mt.8", core.HostNEX, core.AccelDSim, nex.Config{})
+	}
+}
+
+// --- Table 3: accuracy reference runs (the error computation itself is
+// in cmd/paperbench -exp table3; these track the two engines' cost). ---
+
+func BenchmarkTable3_Reference_VTA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "vta-resnet18", core.HostReference, core.AccelRTL, nex.Config{})
+	}
+}
+
+// --- Table 4: NEX on an NPB kernel per epoch-duration extreme. ---
+
+func benchNPB(b *testing.B, epoch vclock.Duration, threads int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{Host: core.HostNEX, Cores: 16, Seed: 42}
+		cfg.NEX = nex.Config{Epoch: epoch, VirtualCores: 16}
+		sys := core.Build(cfg)
+		res := sys.Run(workloads.NPBProgram("cg", threads, sys.Ctx.Clock))
+		if res.SimTime <= 0 {
+			b.Fatal("no simulated time")
+		}
+	}
+}
+
+func BenchmarkTable4_CG16_Epoch500ns(b *testing.B) { benchNPB(b, 500*vclock.Nanosecond, 16) }
+func BenchmarkTable4_CG16_Epoch4us(b *testing.B)   { benchNPB(b, 4*vclock.Microsecond, 16) }
+
+// --- §6.6: oversubscription / complementary scheduling. ---
+
+func BenchmarkCompSched_LU16on4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{Host: core.HostNEX, Cores: 16, Seed: 42}
+		cfg.NEX = nex.Config{Epoch: 1 * vclock.Microsecond, VirtualCores: 4}
+		sys := core.Build(cfg)
+		sys.Run(workloads.NPBProgram("lu", 16, sys.Ctx.Clock))
+	}
+}
+
+// --- §6.7: hybrid synchronization. ---
+
+func BenchmarkHybrid_JPEG_1us(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOnce(b, "jpeg-decode", core.HostNEX, core.AccelDSim, nex.Config{
+			Mode: nex.Hybrid, SyncInterval: 1 * vclock.Microsecond,
+		})
+	}
+}
+
+// --- §6.4 / §A.2 use-case sweeps (full experiment as one iteration). ---
+
+func BenchmarkWhatIf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WhatIf(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVTASweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.VTASweep(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtoSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.ProtoSweep(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTightVsChannel_VTAMatmul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench, _ := workloads.ByName("vta-matmul")
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: bench.Model, Devices: bench.Devices, Cores: 16, Seed: 42,
+			UseChannel: true,
+		})
+		sys.Run(bench.Build(&sys.Ctx))
+	}
+}

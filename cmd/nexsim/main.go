@@ -1,0 +1,132 @@
+// Command nexsim runs one benchmark under one simulator combination and
+// reports simulated time, wall-clock time and (optionally) the
+// coarse-grained execution trace — the interactive workflow the paper
+// advocates.
+//
+// Usage:
+//
+//	nexsim -list
+//	nexsim -bench vta-resnet50 -host nex -accel dsim -trace
+//	nexsim -bench jpeg-decode -host gem5 -accel rtl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nexsim/internal/core"
+	"nexsim/internal/trace"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name (see -list)")
+		hostName  = flag.String("host", "nex", "host engine: nex | gem5 | reference")
+		accName   = flag.String("accel", "dsim", "accelerator engine: dsim | rtl")
+		epoch     = flag.Duration("epoch", 0, "NEX epoch duration (e.g. 1us)")
+		showTrace = flag.Bool("trace", false, "print the coarse-grained execution trace summary")
+		chrome    = flag.String("chrome-trace", "", "write the trace as Chrome trace-event JSON to this file")
+		list      = flag.Bool("list", false, "list benchmarks")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workloads.Catalog() {
+			model := string(b.Model)
+			if model == "" {
+				model = "cpu-only"
+			}
+			fmt.Printf("%-22s accel=%-9s devices=%d threads=%d\n",
+				b.Name, model, b.Devices, b.Threads)
+		}
+		return
+	}
+	if *benchName == "" {
+		fmt.Fprintln(os.Stderr, "nexsim: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var host core.HostKind
+	switch *hostName {
+	case "nex":
+		host = core.HostNEX
+	case "gem5":
+		host = core.HostGem5
+	case "reference":
+		host = core.HostReference
+	default:
+		fmt.Fprintf(os.Stderr, "nexsim: unknown host %q\n", *hostName)
+		os.Exit(2)
+	}
+	var acc core.AccelKind
+	switch *accName {
+	case "dsim":
+		acc = core.AccelDSim
+	case "rtl":
+		acc = core.AccelRTL
+	default:
+		fmt.Fprintf(os.Stderr, "nexsim: unknown accelerator engine %q\n", *accName)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Host: host, Accel: acc, Model: b.Model, Devices: b.Devices,
+		Cores: 16, Seed: *seed,
+	}
+	if *epoch > 0 {
+		cfg.NEX.Epoch = vclock.FromStd(*epoch)
+	}
+	var rec *trace.Recorder
+	if *showTrace || *chrome != "" {
+		rec = trace.New()
+		cfg.Trace = rec
+	}
+
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	start := time.Now()
+	r := sys.Run(prog)
+	wall := time.Since(start)
+
+	fmt.Printf("benchmark:       %s\n", b.Name)
+	fmt.Printf("combination:     %v+%v\n", host, acc)
+	fmt.Printf("simulated time:  %v\n", r.SimTime)
+	fmt.Printf("wall-clock time: %v\n", wall.Round(time.Microsecond))
+	fmt.Printf("slowdown:        %.1fx\n", r.Slowdown())
+	if host == core.HostNEX {
+		s := r.NEXStats
+		fmt.Printf("nex: epochs=%d thread-epochs=%d traps=%d syncs=%d irqs=%d idle-jumps=%d\n",
+			s.Epochs, s.ThreadEpochs, s.Traps, s.Syncs, s.IRQs, s.IdleJumps)
+	}
+	for i, d := range r.Devices {
+		fmt.Printf("device %d: tasks=%d/%d busy=%v dma=%dB\n",
+			i, d.TasksCompleted, d.TasksStarted, d.BusyTime, d.DMABytes)
+	}
+	if rec != nil && *showTrace {
+		fmt.Println("--- coarse-grained trace (virtual time per component) ---")
+		rec.Dump(os.Stdout)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing)\n", *chrome)
+	}
+}

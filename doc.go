@@ -1,0 +1,7 @@
+// Package nexsim is a from-scratch Go implementation of NEX + DSim, the
+// minimalist full-stack performance simulator for accelerated
+// hardware-software stacks (SOSP 2025). The public entry points are the
+// commands (cmd/nexsim, cmd/paperbench), the runnable examples
+// (examples/...), and the benchmark targets in bench_test.go; the
+// simulator library lives under internal/ (see DESIGN.md for the map).
+package nexsim

@@ -1,0 +1,57 @@
+// jpeg-pipeline reproduces the paper's §6.4 early-stage what-if
+// analysis. A multithreaded application feeds images from a shared queue
+// to eight JPEG decoder accelerators; profiling shows the CPU-side
+// matrix_filter_2d() post-processing dominates. Before building a filter
+// accelerator, the developer asks NEX:
+//
+//  1. CompressT: what if matrix_filter_2d ran 10x faster?
+//  2. JumpT: what acceleration is actually achievable, given the
+//     filter's memory-access floor? (The probe runs instrumented code
+//     outside virtual time and feeds the derived factor to CompressT.)
+//
+// Run: go run ./examples/jpeg-pipeline
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nexsim/internal/core"
+	"nexsim/internal/workloads"
+)
+
+func main() {
+	base := workloads.JPEGConfig{
+		Images: 32, Threads: 8, FilterPasses: 16, Seed: 777,
+	}
+
+	run := func(label string, cfg workloads.JPEGConfig) core.Result {
+		start := time.Now()
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: core.AccelJPEG, Devices: cfg.Threads, Cores: 16, Seed: 42,
+		})
+		r := sys.Run(workloads.JPEGProgram(cfg, &sys.Ctx))
+		fmt.Printf("%-46s %10v   (simulated in %v)\n",
+			label, r.SimTime, time.Since(start).Round(time.Millisecond))
+		return r
+	}
+
+	fmt.Println("8 JPEG decoders + heavy matrix_filter_2d post-processing")
+	baseline := run("baseline", base)
+
+	comp := base
+	comp.Compress = 10
+	compressed := run("CompressT: hypothetical 10x filter offload", comp)
+
+	probe := base
+	probe.ProbeRealistic = true
+	probed := run("JumpT probe: memory-bound realistic factor", probe)
+
+	fmt.Printf("\nhypothetical 10x offload  => %.2fx end-to-end\n",
+		float64(baseline.SimTime)/float64(compressed.SimTime))
+	fmt.Printf("realistic (memory-bound)  => %.2fx end-to-end\n",
+		float64(baseline.SimTime)/float64(probed.SimTime))
+	fmt.Println("\nIf the realistic bound justifies the effort, sketch the filter")
+	fmt.Println("accelerator as an LPN next (package lpnlang) — no RTL needed yet.")
+}

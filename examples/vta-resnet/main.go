@@ -1,0 +1,52 @@
+// vta-resnet reproduces the paper's §6.4 interactive co-design session:
+// "should I offload ResNet-50 inference to VTA, and how should VTA be
+// attached?" Each simulation completes in well under a minute, so the
+// hardware design space is explored interactively.
+//
+// Run: go run ./examples/vta-resnet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nexsim/internal/core"
+	"nexsim/internal/interconnect"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+func main() {
+	vcfg := workloads.VTAConfig{Network: "resnet50", Seed: 13, ChannelScale: 2}
+
+	runVTA := func(label string, fab interconnect.Config, dma core.DMALevel) {
+		start := time.Now()
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: core.AccelVTA, Cores: 16, Seed: 42,
+			Fabric: &fab, DMATarget: dma,
+		})
+		r := sys.Run(workloads.VTAProgram(vcfg, &sys.Ctx))
+		fmt.Printf("%-36s inference %10v   (simulated in %v)\n",
+			label, r.SimTime, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Q1/Q2: does offloading help at all?
+	start := time.Now()
+	sysCPU := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
+	cpu := sysCPU.Run(workloads.CPUInferenceProgram(vcfg, &sysCPU.Ctx))
+	fmt.Println("Q1/Q2: end-to-end ResNet-50 inference latency")
+	fmt.Printf("%-36s inference %10v   (simulated in %v)\n",
+		"CPU only (Xeon, int8 GEMM)", cpu.SimTime, time.Since(start).Round(time.Millisecond))
+	runVTA("VTA @ PCIe 400ns, DMA via LLC", interconnect.PCIe400, core.DMALLC)
+
+	// Q3/Q4: where is the bottleneck, and does a better attachment fix it?
+	fmt.Println("\nQ3/Q4: interconnect and DMA-path exploration")
+	runVTA("VTA @ PCIe 100ns, DMA via LLC",
+		interconnect.PCIe400.WithLatency(100*vclock.Nanosecond), core.DMALLC)
+	runVTA("VTA on-chip (4ns), DMA via LLC", interconnect.OnChip4, core.DMALLC)
+	runVTA("VTA on-chip (4ns), DMA via L2", interconnect.OnChip4, core.DMAL2)
+
+	fmt.Println("\nEach line above is one full-stack simulation — this design loop")
+	fmt.Println("is the interactive development the paper enables (§6.4).")
+}

@@ -1,0 +1,3 @@
+module nexsim
+
+go 1.22

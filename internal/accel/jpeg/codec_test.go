@@ -1,0 +1,252 @@
+package jpeg
+
+import (
+	"math"
+	"testing"
+
+	"nexsim/internal/xrand"
+)
+
+// synthImage builds a deterministic test image with smooth gradients and
+// some texture (so entropy coding has realistic work to do).
+func synthImage(w, h int, seed uint64) *Image {
+	img := NewImage(w, h)
+	rng := xrand.New(seed)
+	// Random low-frequency blobs + gradient.
+	type blob struct{ cx, cy, r, ch, amp int }
+	blobs := make([]blob, 6)
+	for i := range blobs {
+		blobs[i] = blob{rng.Intn(w), rng.Intn(h), rng.Intn(w/2 + 1), rng.Intn(3), 50 + rng.Intn(150)}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y*w + x) * 3
+			img.Pix[i] = byte(x * 255 / w)
+			img.Pix[i+1] = byte(y * 255 / h)
+			img.Pix[i+2] = byte((x + y) * 255 / (w + h))
+			for _, b := range blobs {
+				dx, dy := x-b.cx, y-b.cy
+				if d := dx*dx + dy*dy; d < b.r*b.r+1 {
+					v := int(img.Pix[i+b.ch]) + b.amp*(b.r*b.r-d)/(b.r*b.r+1)
+					if v > 255 {
+						v = 255
+					}
+					img.Pix[i+b.ch] = byte(v)
+				}
+			}
+		}
+	}
+	return img
+}
+
+func psnr(a, b *Image) float64 {
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func TestRoundTrip444(t *testing.T) {
+	img := synthImage(64, 48, 1)
+	data := Encode(img, 90, Sub444)
+	dec, stats, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 64 || dec.H != 48 {
+		t.Fatalf("size %dx%d", dec.W, dec.H)
+	}
+	if q := psnr(img, dec); q < 30 {
+		t.Fatalf("PSNR = %.1f dB, want > 30", q)
+	}
+	if stats.MCUs != 8*6 {
+		t.Fatalf("MCUs = %d, want 48", stats.MCUs)
+	}
+	if stats.BlocksPerMCU != 3 {
+		t.Fatalf("BlocksPerMCU = %d", stats.BlocksPerMCU)
+	}
+}
+
+func TestRoundTrip420(t *testing.T) {
+	img := synthImage(64, 64, 2)
+	data := Encode(img, 85, Sub420)
+	dec, stats, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := psnr(img, dec); q < 25 {
+		t.Fatalf("PSNR = %.1f dB, want > 25", q)
+	}
+	if stats.BlocksPerMCU != 6 {
+		t.Fatalf("BlocksPerMCU = %d, want 6 (4Y+Cb+Cr)", stats.BlocksPerMCU)
+	}
+	if stats.MCUs != 4*4 {
+		t.Fatalf("MCUs = %d", stats.MCUs)
+	}
+}
+
+func TestNonMultipleOf8Dimensions(t *testing.T) {
+	img := synthImage(37, 23, 3)
+	data := Encode(img, 80, Sub420)
+	dec, _, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 37 || dec.H != 23 {
+		t.Fatalf("size %dx%d", dec.W, dec.H)
+	}
+	if q := psnr(img, dec); q < 20 {
+		t.Fatalf("PSNR = %.1f dB", q)
+	}
+}
+
+func TestQualityAffectsSizeAndFidelity(t *testing.T) {
+	img := synthImage(64, 64, 4)
+	lo := Encode(img, 30, Sub420)
+	hi := Encode(img, 95, Sub420)
+	if len(hi) <= len(lo) {
+		t.Fatalf("quality 95 (%dB) not larger than 30 (%dB)", len(hi), len(lo))
+	}
+	decLo, _, _ := Decode(lo)
+	decHi, _, _ := Decode(hi)
+	if psnr(img, decHi) <= psnr(img, decLo) {
+		t.Fatal("higher quality not higher fidelity")
+	}
+}
+
+func TestStatsPlausible(t *testing.T) {
+	img := synthImage(64, 64, 5)
+	data := Encode(img, 85, Sub420)
+	_, stats, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.MCUBits) != stats.MCUs {
+		t.Fatalf("MCUBits entries = %d, MCUs = %d", len(stats.MCUBits), stats.MCUs)
+	}
+	var sum int64
+	for _, b := range stats.MCUBits {
+		if b < 0 {
+			t.Fatal("negative MCU bits")
+		}
+		sum += b
+	}
+	if sum != stats.BitsRead {
+		t.Fatalf("MCU bits sum %d != total %d", sum, stats.BitsRead)
+	}
+	// Entropy-coded payload roughly matches the file size.
+	if stats.BitsRead/8 > int64(len(data)) {
+		t.Fatalf("bits read %d exceed file size %d", stats.BitsRead/8, len(data))
+	}
+	if stats.NonZeroCoeffs == 0 {
+		t.Fatal("no coefficients decoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{0, 1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	img := synthImage(16, 16, 6)
+	data := Encode(img, 80, Sub444)
+	if _, _, err := Decode(data[:len(data)/3]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestDeterministicEncode(t *testing.T) {
+	img := synthImage(32, 32, 7)
+	a := Encode(img, 75, Sub420)
+	b := Encode(img, 75, Sub420)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic encode")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic encode bytes")
+		}
+	}
+}
+
+func TestRestartMarkers(t *testing.T) {
+	img := synthImage(96, 64, 21)
+	for _, interval := range []int{1, 3, 8} {
+		data := jpegEncodeRestart(img, 85, Sub420, interval)
+		// The stream must actually contain RSTn markers.
+		rst := 0
+		for i := 0; i+1 < len(data); i++ {
+			if data[i] == 0xff && data[i+1] >= 0xd0 && data[i+1] <= 0xd7 {
+				rst++
+			}
+		}
+		if rst == 0 {
+			t.Fatalf("interval %d: no restart markers emitted", interval)
+		}
+		dec, _, err := Decode(data)
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		if q := psnr(img, dec); q < 25 {
+			t.Fatalf("interval %d: PSNR = %.1f dB", interval, q)
+		}
+	}
+}
+
+// jpegEncodeRestart avoids the memoized Decode seeing identical streams
+// across intervals.
+func jpegEncodeRestart(img *Image, q int, sub Subsampling, interval int) []byte {
+	return EncodeRestart(img, q, sub, interval)
+}
+
+func TestRestartStreamDiffersFromPlain(t *testing.T) {
+	img := synthImage(48, 48, 22)
+	plain := Encode(img, 80, Sub444)
+	rst := EncodeRestart(img, 80, Sub444, 2)
+	if len(rst) <= len(plain) {
+		t.Fatal("restart stream not larger (markers missing?)")
+	}
+	a, _, _ := Decode(plain)
+	b, _, _ := Decode(rst)
+	// Same image content either way.
+	if psnr(a, b) < 45 {
+		t.Fatal("restart decode diverges from plain decode")
+	}
+}
+
+// TestDecoderNeverPanicsOnCorruption flips and truncates bytes of a
+// valid stream; the decoder must return an error or a valid image, never
+// panic (devices feed it raw task-buffer input).
+func TestDecoderNeverPanicsOnCorruption(t *testing.T) {
+	img := synthImage(40, 40, 77)
+	base := Encode(img, 80, Sub420)
+	rng := xrand.New(123)
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), base...)
+		switch trial % 3 {
+		case 0: // single byte flip
+			i := rng.Intn(len(data))
+			data[i] ^= byte(1 + rng.Intn(255))
+		case 1: // truncation
+			data = data[:rng.Intn(len(data))]
+		case 2: // multiple flips in the header region
+			for k := 0; k < 4; k++ {
+				i := rng.Intn(len(data) / 2)
+				data[i] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			Decode(data)
+		}()
+	}
+}

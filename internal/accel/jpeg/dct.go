@@ -1,0 +1,70 @@
+package jpeg
+
+import "math"
+
+// cosTable[u][x] = cos((2x+1)uπ/16) * c(u), precomputed for the 1-D DCT.
+var cosTable [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		c := 1.0
+		if u == 0 {
+			c = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// fdct8x8 computes the forward 8x8 DCT of a level-shifted block
+// (values in [-128,127]), producing unquantized coefficients.
+func fdct8x8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * cosTable[u][x]
+			}
+			tmp[y*8+u] = s / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTable[v][y]
+			}
+			out[v*8+u] = s / 2
+		}
+	}
+}
+
+// idct8x8 computes the inverse 8x8 DCT of dequantized coefficients,
+// producing level-shifted samples.
+func idct8x8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += in[v*8+u] * cosTable[u][x]
+			}
+			tmp[v*8+x] = s / 2
+		}
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += tmp[v*8+x] * cosTable[v][y]
+			}
+			out[y*8+x] = s / 2
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package protoacc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nexsim/internal/accel"
+	"nexsim/internal/dsim"
+	"nexsim/internal/lpn"
+	"nexsim/internal/lpnlang"
+	"nexsim/internal/mem"
+	"nexsim/internal/vclock"
+)
+
+// Register map (byte offsets).
+const (
+	RegDoorbell  = 0x00 // W: physical address of a single task descriptor
+	RegStatus    = 0x04 // R: completed-task counter
+	RegBusy      = 0x08 // R: tasks in flight
+	RegIRQEnable = 0x0c
+	RegRingBase  = 0x10 // W: descriptor ring base address
+	RegRingSize  = 0x14 // W: descriptor ring capacity (slots)
+	RegBatch     = 0x18 // W: launch the next N ring descriptors
+)
+
+// IRQVector is the completion interrupt vector.
+const IRQVector = 9
+
+// DescSize is the task-descriptor size: root (8) | out (8) | schema (4) |
+// pad (4).
+const DescSize = 24
+
+// Desc describes one serialization task.
+type Desc struct {
+	Root   mem.Addr // root message block (Store layout)
+	Out    mem.Addr // output buffer: u32 length followed by wire bytes
+	Schema uint32   // schema id registered on the device
+}
+
+// EncodeDesc serializes a descriptor.
+func EncodeDesc(d Desc) [DescSize]byte {
+	var b [DescSize]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(d.Root))
+	binary.LittleEndian.PutUint64(b[8:], uint64(d.Out))
+	binary.LittleEndian.PutUint32(b[16:], d.Schema)
+	return b
+}
+
+func decodeDesc(b []byte) Desc {
+	return Desc{
+		Root:   mem.Addr(binary.LittleEndian.Uint64(b[0:])),
+		Out:    mem.Addr(binary.LittleEndian.Uint64(b[8:])),
+		Schema: binary.LittleEndian.Uint32(b[16:]),
+	}
+}
+
+// Timing parameters of the modeled serializer (Protoacc-like): several
+// parallel field-serialization units, a memory unit for object and data
+// fetches, and a streaming output writer.
+const (
+	fieldUnits       = 4
+	objFetchUnits    = 2
+	scalarBaseCycles = 6  // key + varint encode
+	dataCopyBytesCyc = 8  // streaming copy bytes/cycle
+	outWriteBytesCyc = 16 // output writer bytes/cycle
+	descFetchCycles  = 8
+	dispatchCycles   = 2
+)
+
+// nodeRec is one memory block in the device's fetch table (a task
+// descriptor or a message block). Node-token attribute 0 indexes this
+// table.
+type nodeRec struct {
+	task     int64
+	addr     mem.Addr
+	size     int
+	fields   []planField
+	children []int
+}
+
+// outRec is a task's pending output store.
+type outRec struct {
+	addr mem.Addr
+	data []byte
+}
+
+// Device is the DSim model of the Protoacc serializer. Its LPN chains
+// dependent memory accesses — a submessage block is fetched only after
+// its parent's DMA response delivers the pointer — which is what makes
+// Protoacc memory-latency bound (§6.4).
+type Device struct {
+	dsim.Base
+	clk vclock.Hz
+
+	completed  uint32
+	inFlight   uint32
+	irqEnabled bool
+
+	schemas map[uint32]*MessageDesc
+
+	ringBase mem.Addr
+	ringSize int
+	ringIdx  int
+
+	nodeQ  *lpn.Place
+	storeQ *lpn.Place
+
+	nodeTab   []nodeRec
+	outTab    map[int64]outRec
+	remaining map[int64]int64 // taskID -> outstanding nodes+fields
+	nextTask  int64
+
+	// TaskLatency records per-task (submit, complete) pairs for tail
+	// latency analysis (§6.8).
+	TaskLatency []TaskSpan
+	submitTime  map[int64]vclock.Time
+
+	extraDMABytes int64
+}
+
+// TaskSpan is one task's lifetime.
+type TaskSpan struct {
+	Submit, Done vclock.Time
+}
+
+// Latencies returns the per-task latency log (for §6.8 tail analysis).
+func (d *Device) Latencies() []TaskSpan { return d.TaskLatency }
+
+// NewDevice builds the DSim Protoacc model at clock clk.
+func NewDevice(clk vclock.Hz) *Device {
+	d := &Device{
+		clk:        clk,
+		schemas:    make(map[uint32]*MessageDesc),
+		outTab:     make(map[int64]outRec),
+		remaining:  make(map[int64]int64),
+		submitTime: make(map[int64]vclock.Time),
+	}
+	b := lpnlang.NewBuilder("protoacc", clk)
+
+	// Token attribute layouts:
+	//   nodeQ/objResp:  [nodeTab index, 0, 0, task]
+	//   fieldQ:         [encBytes, 0, 0, task]
+	//   dataQ/dataResp: [encBytes, dataBytes, dataAddr, task]
+	//   storeQ/done:    [outBytes, 0, 0, task]
+	d.nodeQ = b.Queue("nodes", 0)
+	objResp := b.Queue("objResp", 0)
+	fieldQ := b.Queue("fields", 0)
+	dataQ := b.Queue("dataFields", 0)
+	dataResp := b.Queue("dataResp", 0)
+	fieldDone := b.Queue("fieldDone", 0)
+	d.storeQ = b.Queue("store", 0)
+	storeDone := b.Queue("storeDone", 0)
+
+	// Object/descriptor block fetch: an addressed DMA whose response
+	// gates dispatch. The fetch unit is occupied until the response
+	// returns (it chases one pointer at a time), which is what makes
+	// Protoacc's throughput memory-latency bound (§6.4).
+	b.Stage("fetchObj", d.nodeQ, nil,
+		func(f *lpn.Firing) vclock.Duration {
+			t := f.Tok(0)
+			rec := d.nodeTab[t.Attrs[0]]
+			comp := d.Host.DMA(f.Time, mem.Read, rec.addr, rec.size)
+			d.extraDMABytes += int64(rec.size)
+			return comp.Sub(f.Time) + d.clk.CyclesDur(descFetchCycles)
+		},
+		lpnlang.Servers(objFetchUnits),
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			t := f.Tok(0)
+			d.Net.Inject(objResp, lpn.Tok(done, t.Attrs[0], 0, 0, t.Attrs[3]))
+		}))
+
+	// Dispatch a fetched block: release its fields and chase its
+	// submessage pointers (child nodes become fetchable only now).
+	b.Stage("dispatch", objResp, nil, b.Cycles(dispatchCycles),
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			t := f.Tok(0)
+			rec := d.nodeTab[t.Attrs[0]]
+			for _, fi := range rec.fields {
+				if fi.dataBytes > 0 {
+					d.Net.Inject(dataQ, lpn.Tok(done, fi.encBytes, fi.dataBytes,
+						int64(fi.dataAddr), rec.task))
+				} else {
+					d.Net.Inject(fieldQ, lpn.Tok(done, fi.encBytes, 0, 0, rec.task))
+				}
+			}
+			for _, c := range rec.children {
+				d.Net.Inject(d.nodeQ, lpn.Tok(done, int64(c), 0, 0, rec.task))
+			}
+			d.workDone(rec.task, f.Time)
+		}))
+
+	// Shared pool of field-serialization units.
+	pool := b.Credits("fieldUnits", fieldUnits)
+
+	// Scalar fields: encode immediately.
+	b.Stage("serialize", fieldQ, fieldDone,
+		b.CyclesFunc(func(f *lpn.Firing) int64 {
+			return scalarBaseCycles + f.Tok(0).Attrs[0]
+		}),
+		lpnlang.Servers(0),
+		lpnlang.AlsoConsume(pool, 1),
+		lpnlang.AlsoProduce(pool, lpnlang.ReturnCredit))
+
+	// Data-bearing fields: fetch the payload first (content filling);
+	// the load unit blocks on its response, like the object fetchers.
+	b.Stage("loadData", dataQ, nil,
+		func(f *lpn.Firing) vclock.Duration {
+			t := f.Tok(0)
+			comp := d.Host.DMA(f.Time, mem.Read, mem.Addr(t.Attrs[2]), int(t.Attrs[1]))
+			d.extraDMABytes += t.Attrs[1]
+			return comp.Sub(f.Time) + d.clk.CyclesDur(4)
+		},
+		lpnlang.Servers(objFetchUnits),
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			t := f.Tok(0)
+			d.Net.Inject(dataResp, lpn.Tok(done, t.Attrs[0], t.Attrs[1], t.Attrs[2], t.Attrs[3]))
+		}))
+	b.Stage("serializeData", dataResp, fieldDone,
+		b.CyclesFunc(func(f *lpn.Firing) int64 {
+			return scalarBaseCycles + f.Tok(0).Attrs[1]/dataCopyBytesCyc
+		}),
+		lpnlang.Servers(0),
+		lpnlang.AlsoConsume(pool, 1),
+		lpnlang.AlsoProduce(pool, lpnlang.ReturnCredit))
+
+	// Field completion accounting.
+	b.Stage("account", fieldDone, nil, nil,
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			d.workDone(f.Tok(0).Attrs[3], f.Time)
+		}))
+
+	// Output writer: the task's assembled wire bytes stream to memory.
+	b.Stage("store", d.storeQ, nil,
+		b.CyclesFunc(func(f *lpn.Firing) int64 {
+			return 4 + f.Tok(0).Attrs[0]/outWriteBytesCyc
+		}),
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			t := f.Tok(0)
+			task := t.Attrs[3]
+			out := d.outTab[task]
+			delete(d.outTab, task)
+			comp := d.Host.DMA(f.Time, mem.Write, out.addr, len(out.data))
+			d.extraDMABytes += int64(len(out.data))
+			d.Host.ZeroCostWrite(out.addr, out.data)
+			d.Net.Inject(storeDone, lpn.Tok(comp, t.Attrs[0], 0, 0, task))
+		}))
+
+	// Task completion.
+	b.Stage("finish", storeDone, nil, nil,
+		lpnlang.Effect(func(f *lpn.Firing, done vclock.Time) {
+			d.taskDone(f.Tok(0).Attrs[3], f.Time)
+		}))
+
+	d.Init("protoacc", nil, b.MustBuild())
+	return d
+}
+
+// SetHost wires the device to its host engine.
+func (d *Device) SetHost(h accel.Host) { d.Host = h }
+
+// Stats implements accel.Device, including the bytes moved by the
+// addressed DMA effects.
+func (d *Device) Stats() accel.DeviceStats {
+	s := d.Base.Stats()
+	s.DMABytes += d.extraDMABytes
+	return s
+}
+
+// RegisterSchema makes a message type available to the device under id
+// (standing in for Protoacc's descriptor-table pointers).
+func (d *Device) RegisterSchema(id uint32, desc *MessageDesc) {
+	d.schemas[id] = desc
+}
+
+// workDone decrements a task's outstanding node+field count; at zero the
+// output store is scheduled.
+func (d *Device) workDone(task int64, at vclock.Time) {
+	d.remaining[task]--
+	if d.remaining[task] > 0 {
+		return
+	}
+	delete(d.remaining, task)
+	d.Net.Inject(d.storeQ, lpn.Tok(at, int64(len(d.outTab[task].data)), 0, 0, task))
+}
+
+func (d *Device) taskDone(task int64, at vclock.Time) {
+	d.completed++
+	d.inFlight--
+	d.TaskCompleted(at)
+	d.TaskLatency = append(d.TaskLatency, TaskSpan{Submit: d.submitTime[task], Done: at})
+	delete(d.submitTime, task)
+	if d.irqEnabled {
+		d.Host.RaiseIRQ(at, IRQVector)
+	}
+}
+
+// RegRead implements accel.Device.
+func (d *Device) RegRead(at vclock.Time, off mem.Addr) uint32 {
+	d.Advance(at)
+	switch off {
+	case RegStatus:
+		return d.completed
+	case RegBusy:
+		return d.inFlight
+	default:
+		return 0
+	}
+}
+
+// RegWrite implements accel.Device.
+func (d *Device) RegWrite(at vclock.Time, off mem.Addr, v uint32) {
+	d.Advance(at)
+	switch off {
+	case RegDoorbell:
+		d.startTask(at, mem.Addr(v))
+	case RegIRQEnable:
+		d.irqEnabled = v != 0
+	case RegRingBase:
+		d.ringBase = mem.Addr(v)
+	case RegRingSize:
+		d.ringSize = int(v)
+	case RegBatch:
+		// Asynchronous batch launch: the CPU queued v descriptors in the
+		// ring; one doorbell starts them all (Protoacc's batch protocol).
+		for i := uint32(0); i < v; i++ {
+			d.startTask(at, d.ringBase+mem.Addr(d.ringIdx*DescSize))
+			d.ringIdx = (d.ringIdx + 1) % d.ringSize
+		}
+	}
+}
+
+// startTask runs the functionality track (walk the object graph,
+// serialize) and plans the performance track's addressed DMA chain.
+func (d *Device) startTask(at vclock.Time, descAddr mem.Addr) {
+	d.TaskStarted(at)
+	d.inFlight++
+	task := d.nextTask
+	d.nextTask++
+	d.submitTime[task] = at
+
+	var descBytes [DescSize]byte
+	d.Host.ZeroCostRead(descAddr, descBytes[:])
+	desc := decodeDesc(descBytes[:])
+	schema := d.schemas[desc.Schema]
+	if schema == nil {
+		panic(fmt.Sprintf("protoacc: unregistered schema %d", desc.Schema))
+	}
+
+	read := func(addr mem.Addr, size int) []byte {
+		buf := make([]byte, size)
+		d.Host.ZeroCostRead(addr, buf)
+		return buf
+	}
+	plan := buildPlan(read, read, desc.Root, desc.Out, schema)
+
+	// Table entries: the descriptor pseudo-node chains to the root
+	// message node; message nodes chain to their submessages.
+	base := len(d.nodeTab) + 1 // message nodes start after the desc node
+	d.nodeTab = append(d.nodeTab, nodeRec{
+		task: task, addr: descAddr, size: DescSize, children: []int{base},
+	})
+	total := int64(1) // the descriptor node itself
+	for _, n := range plan.nodes {
+		rec := nodeRec{task: task, addr: n.addr, size: n.size, fields: n.fields}
+		for _, c := range n.children {
+			rec.children = append(rec.children, base+c)
+		}
+		d.nodeTab = append(d.nodeTab, rec)
+		total += 1 + int64(len(n.fields))
+	}
+	d.remaining[task] = total
+	d.outTab[task] = outRec{addr: desc.Out, data: plan.out}
+
+	// Only the descriptor fetch is initially runnable; everything else
+	// is discovered by chasing pointers.
+	d.Net.Inject(d.nodeQ, lpn.Tok(at, int64(base-1), 0, 0, task))
+}

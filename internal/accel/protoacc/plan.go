@@ -1,0 +1,95 @@
+package protoacc
+
+import (
+	"encoding/binary"
+
+	"nexsim/internal/mem"
+)
+
+// planNode is one message block to fetch.
+type planNode struct {
+	addr   mem.Addr
+	size   int
+	fields []planField
+	// children are the submessage nodes discovered in this block: the
+	// hardware cannot fetch them before this block's response arrives
+	// (pointer chasing — the latency dependence §6.4's sweep exposes).
+	children []int
+}
+
+// planField is one set field's work.
+type planField struct {
+	encBytes  int64
+	dataBytes int64
+	dataAddr  mem.Addr
+}
+
+// taskPlan is everything both performance models need to execute one
+// serialization task.
+type taskPlan struct {
+	nodes []planNode
+	out   []byte // u32 length + wire bytes
+}
+
+// buildPlan walks the Store memory layout (via readObj/readData, so the
+// caller chooses whether reads are recorded as DMAs), reconstructs the
+// message, serializes it, and returns the per-node/per-field plan in the
+// preorder the hardware processes blocks.
+func buildPlan(readObj, readData func(addr mem.Addr, size int) []byte,
+	root mem.Addr, outAddr mem.Addr, schema *MessageDesc) taskPlan {
+
+	var nodes []planNode
+	var visit func(addr mem.Addr, desc *MessageDesc) (*Message, int)
+	visit = func(addr mem.Addr, desc *MessageDesc) (*Message, int) {
+		blockLen := 16 * len(desc.Fields)
+		block := readObj(addr, blockLen)
+		msg := NewMessage(desc)
+		node := planNode{addr: addr, size: blockLen}
+		type subref struct {
+			idx  int
+			addr mem.Addr
+		}
+		var subs []subref
+		for i, f := range desc.Fields {
+			tag := binary.LittleEndian.Uint64(block[16*i:])
+			if tag&(1<<63) == 0 {
+				continue
+			}
+			val := binary.LittleEndian.Uint64(block[16*i+8:])
+			v := &msg.Values[i]
+			v.Set = true
+			fi := planField{}
+			switch f.Kind {
+			case KindBytes:
+				ptr := mem.Addr(val & (1<<40 - 1))
+				length := int(val >> 40)
+				v.Bytes = readData(ptr, length)
+				fi.dataBytes = int64(length)
+				fi.dataAddr = ptr
+				fi.encBytes = int64(varintLen(uint64(length)) + length + 1)
+			case KindMessage:
+				subs = append(subs, subref{i, mem.Addr(val)})
+				continue // submessages are their own nodes
+			default:
+				v.Int = val
+				fi.encBytes = int64(varintLen(val) + 1)
+			}
+			node.fields = append(node.fields, fi)
+		}
+		nodes = append(nodes, node)
+		self := len(nodes) - 1
+		for _, s := range subs {
+			sub, childIdx := visit(s.addr, desc.Fields[s.idx].Sub)
+			msg.Values[s.idx].Msg = sub
+			nodes[self].children = append(nodes[self].children, childIdx)
+		}
+		return msg, self
+	}
+	msg, _ := visit(root, schema)
+
+	wire := Marshal(msg)
+	out := make([]byte, 4+len(wire))
+	binary.LittleEndian.PutUint32(out, uint32(len(wire)))
+	copy(out[4:], wire)
+	return taskPlan{nodes: nodes, out: out}
+}

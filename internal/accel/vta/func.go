@@ -1,0 +1,154 @@
+package vta
+
+import (
+	"fmt"
+)
+
+// Core is the functional model of the VTA datapath: the three SRAMs and
+// the semantics of each instruction. It is the functionality track of
+// the di-simulated device and also the reference the tests compare
+// hardware results against.
+type Core struct {
+	Input  []int8  // InputBufSize
+	Weight []int8  // WeightBufSize
+	Acc    []int32 // AccBufSize
+}
+
+// NewCore allocates the SRAMs.
+func NewCore() *Core {
+	return &Core{
+		Input:  make([]int8, InputBufSize),
+		Weight: make([]int8, WeightBufSize),
+		Acc:    make([]int32, AccBufSize),
+	}
+}
+
+// LoadBytes fills a buffer region from raw DRAM bytes (the data of a
+// LOAD DMA). For BufAcc the data is int32 little-endian.
+func (c *Core) LoadBytes(i *Instr, data []byte) error {
+	n := int(i.Rows) * int(i.Cols)
+	switch i.Buf {
+	case BufInput:
+		if int(i.SRAMBase)+n > len(c.Input) {
+			return fmt.Errorf("vta: input load out of range")
+		}
+		for j := 0; j < n; j++ {
+			c.Input[int(i.SRAMBase)+j] = int8(data[j])
+		}
+	case BufWeight:
+		if int(i.SRAMBase)+n > len(c.Weight) {
+			return fmt.Errorf("vta: weight load out of range")
+		}
+		for j := 0; j < n; j++ {
+			c.Weight[int(i.SRAMBase)+j] = int8(data[j])
+		}
+	case BufAcc:
+		if int(i.SRAMBase)+n > len(c.Acc) {
+			return fmt.Errorf("vta: acc load out of range")
+		}
+		for j := 0; j < n; j++ {
+			c.Acc[int(i.SRAMBase)+j] = int32(uint32(data[4*j]) |
+				uint32(data[4*j+1])<<8 | uint32(data[4*j+2])<<16 | uint32(data[4*j+3])<<24)
+		}
+	default:
+		return fmt.Errorf("vta: bad load buffer %d", i.Buf)
+	}
+	return nil
+}
+
+// Gemm executes acc[M][N] += in[M][K] * wgt[N][K].
+func (c *Core) Gemm(i *Instr) error {
+	m, n, k := int(i.M), int(i.N), int(i.K)
+	if int(i.InBase)+m*k > len(c.Input) ||
+		int(i.WgtBase)+n*k > len(c.Weight) ||
+		int(i.AccBase)+m*n > len(c.Acc) {
+		return fmt.Errorf("vta: gemm operand out of range")
+	}
+	if i.ResetAcc {
+		for j := 0; j < m*n; j++ {
+			c.Acc[int(i.AccBase)+j] = 0
+		}
+	}
+	for mi := 0; mi < m; mi++ {
+		inRow := c.Input[int(i.InBase)+mi*k : int(i.InBase)+mi*k+k]
+		accRow := c.Acc[int(i.AccBase)+mi*n:]
+		for ni := 0; ni < n; ni++ {
+			wgtRow := c.Weight[int(i.WgtBase)+ni*k : int(i.WgtBase)+ni*k+k]
+			var s0, s1, s2, s3 int32
+			ki := 0
+			for ; ki+4 <= k; ki += 4 {
+				s0 += int32(inRow[ki]) * int32(wgtRow[ki])
+				s1 += int32(inRow[ki+1]) * int32(wgtRow[ki+1])
+				s2 += int32(inRow[ki+2]) * int32(wgtRow[ki+2])
+				s3 += int32(inRow[ki+3]) * int32(wgtRow[ki+3])
+			}
+			sum := s0 + s1 + s2 + s3
+			for ; ki < k; ki++ {
+				sum += int32(inRow[ki]) * int32(wgtRow[ki])
+			}
+			accRow[ni] += sum
+		}
+	}
+	return nil
+}
+
+// Alu executes a vector operation over the accumulator buffer.
+func (c *Core) Alu(i *Instr) error {
+	n := int(i.Len)
+	dst := int(i.AccBase)
+	if dst+n > len(c.Acc) {
+		return fmt.Errorf("vta: alu dst out of range")
+	}
+	src := int(i.SrcAcc)
+	if !i.UseImm && src+n > len(c.Acc) {
+		return fmt.Errorf("vta: alu src out of range")
+	}
+	for j := 0; j < n; j++ {
+		a := c.Acc[dst+j]
+		b := i.Imm
+		if !i.UseImm {
+			b = c.Acc[src+j]
+		}
+		switch i.Alu {
+		case AluAdd:
+			a += b
+		case AluMax:
+			if b > a {
+				a = b
+			}
+		case AluMin:
+			if b < a {
+				a = b
+			}
+		case AluShr:
+			sh := uint(b & 31)
+			a >>= sh
+		default:
+			return fmt.Errorf("vta: bad alu op %d", i.Alu)
+		}
+		c.Acc[dst+j] = a
+	}
+	return nil
+}
+
+// StoreBytes narrows an accumulator tile to int8 (with the instruction's
+// right shift and saturation) and returns the DRAM bytes of the STORE
+// DMA.
+func (c *Core) StoreBytes(i *Instr) ([]byte, error) {
+	n := int(i.Rows) * int(i.Cols)
+	if int(i.SRAMBase)+n > len(c.Acc) {
+		return nil, fmt.Errorf("vta: store out of range")
+	}
+	out := make([]byte, n)
+	for j := 0; j < n; j++ {
+		v := c.Acc[int(i.SRAMBase)+j] >> uint(i.Shift)
+		if v > 127 {
+			v = 127
+		}
+		if v < -128 {
+			v = -128
+		}
+		out[j] = byte(int8(v))
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Package cachesim implements set-associative cache latency simulators
+// (L1, L2, LLC) that stack hierarchically through the memsys.Port
+// interface (paper §4: "Multiple cache simulators can also be stacked,
+// one for each level").
+//
+// The model is a write-back, write-allocate cache with true LRU
+// replacement per set. Only timing-relevant state is kept (tags and dirty
+// bits); data always lives in the simulated physical memory, so caches
+// never need to be coherent with functional state.
+package cachesim
+
+import (
+	"nexsim/internal/mem"
+	"nexsim/internal/memsys"
+	"nexsim/internal/vclock"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Size       int             // total bytes
+	LineSize   int             // bytes per line (power of two)
+	Assoc      int             // ways per set
+	HitLatency vclock.Duration // latency of a hit (and tag check on miss)
+	// Pace is the issue interval between successive lines of one large
+	// request (the cache's streaming bandwidth); defaults to one line
+	// per 2ns (~32 B/ns).
+	Pace vclock.Duration
+}
+
+// Cache is a single cache level backed by a parent Port.
+type Cache struct {
+	cfg    Config
+	parent memsys.Port
+
+	sets     []set
+	setMask  mem.Addr
+	lineBits uint
+
+	lruClock int64
+
+	// Stats.
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+type line struct {
+	tag   mem.Addr
+	valid bool
+	dirty bool
+	lru   int64 // higher = more recent
+}
+
+type set struct {
+	lines []line
+}
+
+// New builds a cache level. It panics on malformed geometry so
+// misconfigurations fail at construction, not mid-simulation.
+func New(cfg Config, parent memsys.Port) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic("cachesim: line size must be a positive power of two")
+	}
+	if cfg.Assoc <= 0 {
+		panic("cachesim: associativity must be positive")
+	}
+	nLines := cfg.Size / cfg.LineSize
+	nSets := nLines / cfg.Assoc
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic("cachesim: set count must be a positive power of two (size/line/assoc mismatch)")
+	}
+	if parent == nil {
+		panic("cachesim: nil parent port")
+	}
+	if cfg.Pace == 0 {
+		cfg.Pace = 2 * vclock.Nanosecond
+	}
+	c := &Cache{cfg: cfg, parent: parent, sets: make([]set, nSets), setMask: mem.Addr(nSets - 1)}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, cfg.Assoc)
+	}
+	for bits := cfg.LineSize; bits > 1; bits >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access implements memsys.Port. A request spanning multiple lines pays
+// one lookup per line; the completion time is that of the last line.
+func (c *Cache) Access(at vclock.Time, kind mem.AccessKind, addr mem.Addr, size int) vclock.Time {
+	if size <= 0 {
+		size = 1
+	}
+	done := at
+	first := addr >> c.lineBits
+	last := (addr + mem.Addr(size) - 1) >> c.lineBits
+	t := at
+	for ln := first; ln <= last; ln++ {
+		d := c.accessLine(t, kind, ln)
+		if d > done {
+			done = d
+		}
+		// Consecutive lines of one request stream at the cache's
+		// bandwidth, pipelined behind the first tag check.
+		t = t.Add(c.cfg.Pace)
+	}
+	return done
+}
+
+func (c *Cache) accessLine(at vclock.Time, kind mem.AccessKind, lineAddr mem.Addr) vclock.Time {
+	s := &c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	c.lruClock++
+
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			l.lru = c.lruClock
+			if kind == mem.Write {
+				l.dirty = true
+			}
+			return at.Add(c.cfg.HitLatency)
+		}
+	}
+
+	// Miss: fetch the line from the parent (after the tag check), evict
+	// the LRU victim, writing it back first if dirty.
+	c.Misses++
+	victim := 0
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			victim = i
+			break
+		}
+		if s.lines[i].lru < s.lines[victim].lru {
+			victim = i
+		}
+	}
+	fetchStart := at.Add(c.cfg.HitLatency)
+	v := &s.lines[victim]
+	if v.valid {
+		c.Evictions++
+		if v.dirty {
+			c.Writebacks++
+			// The writeback occupies the parent but does not delay the
+			// demand fetch's completion beyond the parent's own queueing.
+			c.parent.Access(fetchStart, mem.Write, v.tag<<c.lineBits, c.cfg.LineSize)
+		}
+	}
+	done := c.parent.Access(fetchStart, mem.Read, lineAddr<<c.lineBits, c.cfg.LineSize)
+	*v = line{tag: tag, valid: true, dirty: kind == mem.Write, lru: c.lruClock}
+	return done
+}
+
+// MissRate returns misses/(hits+misses), or 0 with no traffic.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Flush invalidates all lines, writing back dirty ones at time at; it
+// returns the completion time of the last writeback.
+func (c *Cache) Flush(at vclock.Time) vclock.Time {
+	done := at
+	for si := range c.sets {
+		for li := range c.sets[si].lines {
+			l := &c.sets[si].lines[li]
+			if l.valid && l.dirty {
+				c.Writebacks++
+				if d := c.parent.Access(at, mem.Write, l.tag<<c.lineBits, c.cfg.LineSize); d > done {
+					done = d
+				}
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+	return done
+}
+
+// Typical level configurations used across the evaluation, loosely
+// modeled on the paper's Xeon Gold 6248R host.
+var (
+	L1D = Config{Name: "L1D", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 1333 * vclock.Picosecond}   // ~4 cycles @3GHz
+	L2  = Config{Name: "L2", Size: 1 << 20, LineSize: 64, Assoc: 16, HitLatency: 4666 * vclock.Picosecond}    // ~14 cycles
+	LLC = Config{Name: "LLC", Size: 32 << 20, LineSize: 64, Assoc: 16, HitLatency: 16666 * vclock.Picosecond} // ~50 cycles
+)

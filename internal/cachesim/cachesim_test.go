@@ -1,0 +1,186 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexsim/internal/mem"
+	"nexsim/internal/memsys"
+	"nexsim/internal/vclock"
+)
+
+func tiny(parent memsys.Port) *Cache {
+	return New(Config{
+		Name: "t", Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 10 * vclock.Nanosecond,
+	}, parent)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := tiny(memsys.Fixed{Latency: 100 * vclock.Nanosecond})
+	d1 := c.Access(0, mem.Read, 0x1000, 8)
+	if c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("first access: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	// Miss pays tag check + parent: 10ns + 100ns.
+	if want := vclock.Time(110 * vclock.Nanosecond); d1 != want {
+		t.Fatalf("miss latency = %v, want %v", vclock.Duration(d1), vclock.Duration(want))
+	}
+	d2 := c.Access(d1, mem.Read, 0x1008, 8) // same line
+	if c.Hits != 1 {
+		t.Fatalf("second access not a hit (hits=%d)", c.Hits)
+	}
+	if want := d1.Add(10 * vclock.Nanosecond); d2 != want {
+		t.Fatalf("hit latency = %v, want hit latency only", d2.Sub(d1))
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny(memsys.Fixed{}) // 8 sets, 2 ways
+	// Three lines mapping to the same set (stride = 8 sets * 64B = 512).
+	a, b, x := mem.Addr(0), mem.Addr(512), mem.Addr(1024)
+	c.Access(0, mem.Read, a, 1)
+	c.Access(0, mem.Read, b, 1)
+	c.Access(0, mem.Read, a, 1) // refresh a; b is now LRU
+	c.Access(0, mem.Read, x, 1) // evicts b
+	c.Access(0, mem.Read, a, 1) // still a hit
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	}
+	before := c.Misses
+	c.Access(0, mem.Read, b, 1) // must miss again
+	if c.Misses != before+1 {
+		t.Fatal("evicted line still hit")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	counter := &memsys.Counter{Inner: memsys.Fixed{}}
+	c := tiny(counter)
+	a, b, x := mem.Addr(0), mem.Addr(512), mem.Addr(1024)
+	c.Access(0, mem.Write, a, 8) // dirty
+	c.Access(0, mem.Read, b, 8)
+	c.Access(0, mem.Read, x, 8) // evicts a (LRU), which is dirty
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+	if counter.Writes != 1 {
+		t.Fatalf("parent saw %d writes, want 1 writeback", counter.Writes)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	counter := &memsys.Counter{Inner: memsys.Fixed{}}
+	c := tiny(counter)
+	c.Access(0, mem.Read, 0, 8)
+	c.Access(0, mem.Read, 512, 8)
+	c.Access(0, mem.Read, 1024, 8)
+	if counter.Writes != 0 {
+		t.Fatal("clean eviction wrote back")
+	}
+}
+
+func TestMultiLineRequest(t *testing.T) {
+	c := tiny(memsys.Fixed{Latency: 100 * vclock.Nanosecond})
+	// 256B spans 4 lines: 4 misses.
+	c.Access(0, mem.Read, 0, 256)
+	if c.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", c.Misses)
+	}
+}
+
+func TestHierarchyStacking(t *testing.T) {
+	dram := memsys.Fixed{Latency: 100 * vclock.Nanosecond}
+	l2 := New(Config{Name: "L2", Size: 4096, LineSize: 64, Assoc: 4, HitLatency: 5 * vclock.Nanosecond}, dram)
+	l1 := New(Config{Name: "L1", Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 1 * vclock.Nanosecond}, l2)
+
+	// Cold: L1 miss -> L2 miss -> DRAM. 1 + 5 + 100 = 106ns.
+	d := l1.Access(0, mem.Read, 0x40, 8)
+	if want := vclock.Time(106 * vclock.Nanosecond); d != want {
+		t.Fatalf("cold access = %v, want %v", vclock.Duration(d), vclock.Duration(want))
+	}
+	// L1 hit: 1ns.
+	d2 := l1.Access(d, mem.Read, 0x44, 4)
+	if got := d2.Sub(d); got != 1*vclock.Nanosecond {
+		t.Fatalf("L1 hit = %v", got)
+	}
+
+	// Evict the line from tiny L1 but not from L2: same-set lines in L1
+	// (8 sets * 64 = 512 stride), different sets in L2.
+	l1.Access(d2, mem.Read, 0x40+512, 8)
+	l1.Access(d2, mem.Read, 0x40+1024, 8)
+	l2Misses := l2.Misses
+	d3 := l1.Access(d2, mem.Read, 0x40, 8) // L1 miss, L2 hit: 1+5 = 6ns
+	if got := d3.Sub(d2); got != 6*vclock.Nanosecond {
+		t.Fatalf("L2 hit path = %v, want 6ns", got)
+	}
+	if l2.Misses != l2Misses {
+		t.Fatal("L2 missed on a line it should hold")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	counter := &memsys.Counter{Inner: memsys.Fixed{}}
+	c := tiny(counter)
+	c.Access(0, mem.Write, 0, 8)
+	c.Access(0, mem.Write, 64, 8)
+	c.Access(0, mem.Read, 128, 8)
+	c.Flush(1000)
+	if counter.Writes != 2 {
+		t.Fatalf("flush wrote %d lines, want 2 dirty", counter.Writes)
+	}
+	before := c.Misses
+	c.Access(2000, mem.Read, 0, 8)
+	if c.Misses != before+1 {
+		t.Fatal("line survived flush")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := tiny(memsys.Fixed{})
+	if c.MissRate() != 0 {
+		t.Fatal("miss rate with no traffic")
+	}
+	c.Access(0, mem.Read, 0, 8)
+	c.Access(0, mem.Read, 0, 8)
+	c.Access(0, mem.Read, 0, 8)
+	c.Access(0, mem.Read, 0, 8)
+	if got := c.MissRate(); got != 0.25 {
+		t.Fatalf("miss rate = %v, want 0.25", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 1024, LineSize: 60, Assoc: 2}, // line not power of two
+		{Size: 1024, LineSize: 64, Assoc: 0}, // zero assoc
+		{Size: 192, LineSize: 64, Assoc: 1},  // 3 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg, memsys.Fixed{})
+		}()
+	}
+}
+
+// Property: completion time never precedes issue time, and a repeated
+// access to the same address is never slower than the first.
+func TestLatencyProperties(t *testing.T) {
+	f := func(addr uint32, sz uint8) bool {
+		c := tiny(memsys.Fixed{Latency: 77 * vclock.Nanosecond})
+		a := mem.Addr(addr)
+		size := int(sz%128) + 1
+		d1 := c.Access(0, mem.Read, a, size)
+		if d1 < 0 {
+			return false
+		}
+		d2 := c.Access(d1, mem.Read, a, size)
+		return d2.Sub(d1) <= d1.Sub(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"nexsim/internal/core"
+	"nexsim/internal/interconnect"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// runBench assembles and runs one benchmark on one combo.
+func runBench(t *testing.T, name string, host core.HostKind, accel core.AccelKind) core.Result {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.Build(core.Config{
+		Host: host, Accel: accel,
+		Model: b.Model, Devices: b.Devices,
+		Cores: 16, Seed: 42,
+	})
+	prog := b.Build(&sys.Ctx)
+	return sys.Run(prog)
+}
+
+func TestJPEGAllCombos(t *testing.T) {
+	ref := runBench(t, "jpeg-decode", core.HostReference, core.AccelRTL)
+	if ref.SimTime <= 0 {
+		t.Fatal("reference run produced no time")
+	}
+	combos := []struct {
+		host core.HostKind
+		acc  core.AccelKind
+	}{
+		{core.HostNEX, core.AccelDSim},
+		{core.HostNEX, core.AccelRTL},
+		{core.HostGem5, core.AccelDSim},
+		{core.HostGem5, core.AccelRTL},
+	}
+	for _, c := range combos {
+		r := runBench(t, "jpeg-decode", c.host, c.acc)
+		err := relErr(r.SimTime, ref.SimTime)
+		t.Logf("jpeg-decode %v+%v: sim=%v wall=%v err=%.1f%%",
+			c.host, c.acc, r.SimTime, r.WallTime, err*100)
+		if r.SimTime <= 0 {
+			t.Fatalf("%v+%v: no sim time", c.host, c.acc)
+		}
+		if err > 0.5 {
+			t.Fatalf("%v+%v: sim time %v vs reference %v (err %.0f%%)",
+				c.host, c.acc, r.SimTime, ref.SimTime, err*100)
+		}
+	}
+}
+
+func TestVTAResnet18Combos(t *testing.T) {
+	ref := runBench(t, "vta-resnet18", core.HostReference, core.AccelRTL)
+	nexDSim := runBench(t, "vta-resnet18", core.HostNEX, core.AccelDSim)
+	err := relErr(nexDSim.SimTime, ref.SimTime)
+	t.Logf("vta-resnet18 ref=%v nex+dsim=%v err=%.1f%% wall ref=%v nex=%v",
+		ref.SimTime, nexDSim.SimTime, err*100, ref.WallTime, nexDSim.WallTime)
+	if err > 0.35 {
+		t.Fatalf("NEX+DSim error vs reference too large: %.0f%%", err*100)
+	}
+}
+
+func TestProtoaccCombos(t *testing.T) {
+	ref := runBench(t, "protoacc-bench0", core.HostReference, core.AccelRTL)
+	nexDSim := runBench(t, "protoacc-bench0", core.HostNEX, core.AccelDSim)
+	err := relErr(nexDSim.SimTime, ref.SimTime)
+	t.Logf("protoacc-bench0 ref=%v nex+dsim=%v err=%.1f%%", ref.SimTime, nexDSim.SimTime, err*100)
+	if err > 0.35 {
+		t.Fatalf("NEX+DSim error vs reference too large: %.0f%%", err*100)
+	}
+}
+
+func TestNEXDSimFasterThanGem5RTL(t *testing.T) {
+	slow := runBench(t, "vta-resnet18", core.HostGem5, core.AccelRTL)
+	fast := runBench(t, "vta-resnet18", core.HostNEX, core.AccelDSim)
+	t.Logf("gem5+rtl wall=%v, nex+dsim wall=%v, speedup=%.1fx",
+		slow.WallTime, fast.WallTime,
+		float64(slow.WallTime)/float64(fast.WallTime))
+	if fast.WallTime >= slow.WallTime {
+		t.Fatalf("NEX+DSim (%v) not faster than gem5+RTL (%v)",
+			fast.WallTime, slow.WallTime)
+	}
+}
+
+func TestMultiDeviceJPEG(t *testing.T) {
+	single := runBench(t, "jpeg-decode", core.HostReference, core.AccelDSim)
+	multi := runBench(t, "jpeg-mt.4", core.HostReference, core.AccelDSim)
+	t.Logf("jpeg 1 thread: %v, 4 threads: %v", single.SimTime, multi.SimTime)
+	if multi.SimTime >= single.SimTime {
+		t.Fatal("4 accelerators not faster than 1")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runBench(t, "protoacc-bench1", core.HostNEX, core.AccelDSim)
+	b := runBench(t, "protoacc-bench1", core.HostNEX, core.AccelDSim)
+	if a.SimTime != b.SimTime {
+		t.Fatalf("nondeterministic: %v vs %v", a.SimTime, b.SimTime)
+	}
+}
+
+func TestInterconnectSweepChangesLatency(t *testing.T) {
+	run := func(lat vclock.Duration) vclock.Duration {
+		b, _ := workloads.ByName("vta-resnet18")
+		fab := interconnect.PCIe400.WithLatency(lat)
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42,
+			Fabric: &fab,
+		})
+		return sys.Run(b.Build(&sys.Ctx)).SimTime
+	}
+	slow := run(400 * vclock.Nanosecond)
+	fast := run(4 * vclock.Nanosecond)
+	t.Logf("vta-resnet18 e2e: 400ns fabric %v, 4ns fabric %v", slow, fast)
+	if fast >= slow {
+		t.Fatal("lower interconnect latency did not reduce e2e time")
+	}
+}
+
+func relErr(a, b vclock.Duration) float64 {
+	return math.Abs(a.Seconds()-b.Seconds()) / b.Seconds()
+}
+
+func TestGem5Determinism(t *testing.T) {
+	a := runBench(t, "jpeg-decode", core.HostGem5, core.AccelDSim)
+	b := runBench(t, "jpeg-decode", core.HostGem5, core.AccelDSim)
+	if a.SimTime != b.SimTime {
+		t.Fatalf("gem5 nondeterministic: %v vs %v", a.SimTime, b.SimTime)
+	}
+}
+
+func TestReferenceDeterminism(t *testing.T) {
+	a := runBench(t, "vta-matmul", core.HostReference, core.AccelRTL)
+	b := runBench(t, "vta-matmul", core.HostReference, core.AccelRTL)
+	if a.SimTime != b.SimTime {
+		t.Fatalf("reference nondeterministic: %v vs %v", a.SimTime, b.SimTime)
+	}
+}

@@ -1,0 +1,149 @@
+// Package coro provides the deterministic coroutine machinery on which
+// host engines run simulated application threads.
+//
+// Each simulated thread is a goroutine that is *never* runnable at the
+// same time as the engine: control passes synchronously between the
+// engine's event loop and exactly one thread at a time through a
+// channel handshake. The result is a single logical thread of control,
+// so simulations are deterministic regardless of GOMAXPROCS.
+package coro
+
+import (
+	"fmt"
+
+	"nexsim/internal/isa"
+	"nexsim/internal/vclock"
+)
+
+// Op identifies what a thread is asking its engine to do.
+type Op int
+
+const (
+	// OpExit: the thread function returned. The engine must not resume
+	// the thread again.
+	OpExit Op = iota
+	// OpAdvance: consume CPU time described by Work.
+	OpAdvance
+	// OpInteract: run Interact on the engine at the thread's resolved
+	// virtual time (MMIO, task-buffer access). The returned duration is
+	// charged to the thread as interaction latency.
+	OpInteract
+	// OpPark: block until another thread (or the engine) unparks us.
+	OpPark
+	// OpUnpark: make Target runnable (the current thread keeps running).
+	OpUnpark
+	// OpSleep: block for Dur of virtual time.
+	OpSleep
+	// OpSpawn: create a new thread running Fn; reply carries the Thread.
+	OpSpawn
+	// OpWaitIRQ: block until interrupt Vector is delivered.
+	OpWaitIRQ
+	// OpWarp: enter/exit a time-warp region (CompressT/SlipStream/JumpT).
+	OpWarp
+	// OpTick: NEX tick mode — a designated batched synchronization point.
+	OpTick
+)
+
+// WarpKind selects a time-warping feature (paper §3.4).
+type WarpKind int
+
+const (
+	CompressT WarpKind = iota
+	SlipStream
+	JumpT
+)
+
+func (w WarpKind) String() string {
+	switch w {
+	case CompressT:
+		return "CompressT"
+	case SlipStream:
+		return "SlipStream"
+	default:
+		return "JumpT"
+	}
+}
+
+// Request is what a yielding thread hands to its engine.
+type Request struct {
+	Op       Op
+	Work     isa.Work                             // OpAdvance
+	Interact func(at vclock.Time) vclock.Duration // OpInteract
+	Dur      vclock.Duration                      // OpSleep
+	Target   *Thread                              // OpUnpark
+	Name     string                               // OpSpawn
+	Body     any                                  // OpSpawn: the engine's thread-body type
+	Vector   int                                  // OpWaitIRQ
+	Warp     WarpKind                             // OpWarp
+	Factor   float64                              // OpWarp (CompressT)
+	Enter    bool                                 // OpWarp: true=enter region
+	Light    bool                                 // OpInteract: non-trapping (tick-mode batched access)
+}
+
+// Thread is one simulated application thread.
+type Thread struct {
+	ID   int
+	Name string
+
+	// Data is engine-private per-thread state.
+	Data any
+
+	fn      func()
+	req     chan Request
+	resume  chan struct{}
+	started bool
+	exited  bool
+
+	// Spawn handshake: the engine places the new thread here before
+	// resuming the spawner.
+	Spawned *Thread
+}
+
+// NewThread creates a thread that will run fn when first resumed. The
+// engine assigns IDs.
+func NewThread(id int, name string, fn func()) *Thread {
+	return &Thread{
+		ID:     id,
+		Name:   name,
+		fn:     fn,
+		req:    make(chan Request),
+		resume: make(chan struct{}),
+	}
+}
+
+// Resume transfers control to the thread until its next request. It
+// panics if called on an exited thread — that is always an engine bug.
+func (t *Thread) Resume() Request {
+	if t.exited {
+		panic(fmt.Sprintf("coro: resume of exited thread %s", t.Name))
+	}
+	if !t.started {
+		t.started = true
+		go t.run()
+	}
+	t.resume <- struct{}{}
+	r := <-t.req
+	if r.Op == OpExit {
+		t.exited = true
+	}
+	return r
+}
+
+func (t *Thread) run() {
+	<-t.resume
+	t.fn()
+	t.req <- Request{Op: OpExit}
+}
+
+// Yield hands a request to the engine and blocks until resumed. It must
+// only be called from within the thread's own goroutine (i.e. from Env
+// method implementations).
+func (t *Thread) Yield(r Request) {
+	t.req <- r
+	<-t.resume
+}
+
+// Exited reports whether the thread function has returned.
+func (t *Thread) Exited() bool { return t.exited }
+
+func (t *Thread) String() string { return fmt.Sprintf("thread(%d,%s)", t.ID, t.Name) }

@@ -1,0 +1,105 @@
+package coro
+
+import (
+	"testing"
+
+	"nexsim/internal/vclock"
+)
+
+func TestHandshake(t *testing.T) {
+	var order []string
+	th := NewThread(1, "t", func() {
+		order = append(order, "a")
+		me.Yield(Request{Op: OpSleep, Dur: 5})
+		order = append(order, "b")
+	})
+	me = th
+
+	r := th.Resume()
+	if r.Op != OpSleep || r.Dur != 5 {
+		t.Fatalf("first request = %+v", r)
+	}
+	order = append(order, "engine")
+	r = th.Resume()
+	if r.Op != OpExit {
+		t.Fatalf("second request = %+v", r)
+	}
+	want := []string{"a", "engine", "b"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if !th.Exited() {
+		t.Fatal("thread not marked exited")
+	}
+}
+
+// me lets the test thread function reach its own Thread without a
+// separate Env plumbing layer.
+var me *Thread
+
+func TestResumeAfterExitPanics(t *testing.T) {
+	th := NewThread(1, "t", func() {})
+	if r := th.Resume(); r.Op != OpExit {
+		t.Fatalf("got %+v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	th.Resume()
+}
+
+func TestInteractClosure(t *testing.T) {
+	var got uint32
+	th := NewThread(2, "t", func() {
+		var v uint32
+		me2.Yield(Request{Op: OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+			v = 42
+			return 7
+		}})
+		got = v
+	})
+	me2 = th
+	r := th.Resume()
+	if r.Op != OpInteract {
+		t.Fatalf("op = %v", r.Op)
+	}
+	if d := r.Interact(100); d != 7 {
+		t.Fatalf("interact cost = %v", d)
+	}
+	th.Resume() // let the thread finish
+	if got != 42 {
+		t.Fatalf("thread saw %d, want value set during interact", got)
+	}
+}
+
+var me2 *Thread
+
+func TestManyThreadsDeterministic(t *testing.T) {
+	// Round-robin resuming 100 threads yields a deterministic sequence.
+	run := func() []int {
+		var seq []int
+		threads := make([]*Thread, 100)
+		for i := range threads {
+			i := i
+			threads[i] = NewThread(i, "w", func() {
+				seq = append(seq, i)
+			})
+		}
+		for _, th := range threads {
+			if r := th.Resume(); r.Op != OpExit {
+				t.Fatalf("unexpected request %+v", r)
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic execution order")
+		}
+	}
+}

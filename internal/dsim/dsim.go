@@ -1,0 +1,199 @@
+// Package dsim implements the DSim di-simulator (paper §4): accelerator
+// simulation on two decoupled tracks. The *performance track* is a
+// Latency Petri Net that computes when things happen; the *functionality
+// track* is the accelerator's functional simulator, which computes what
+// the answers are. The two synchronize through tagged DMA FIFO queues
+// (§4.3): the functional track runs first for each task, reading host
+// memory through zero-cost DMAs and recording every DMA the accelerator
+// would issue, tagged by hardware module; the LPN then replays those
+// DMAs with accurate timestamps as its transitions fire.
+//
+// A DSim device is externally indistinguishable from the corresponding
+// RTL simulation: same register semantics, same DMA sequence per tag,
+// same results in memory — only the timestamps are computed from the LPN
+// rather than from gate-level state. Accelerator models embed Base and
+// provide their register frontend, functional model, and LPN.
+package dsim
+
+import (
+	"fmt"
+
+	"nexsim/internal/accel"
+	"nexsim/internal/lpn"
+	"nexsim/internal/mem"
+	"nexsim/internal/vclock"
+)
+
+// DMARec is one recorded DMA operation awaiting replay.
+type DMARec struct {
+	Kind mem.AccessKind
+	Addr mem.Addr
+	Size int
+	Data []byte // write payload (delivered at emission time)
+}
+
+// Base is the common machinery of a DSim device. Accelerator models embed
+// it and implement RegRead/RegWrite on top (the paper's adapter base
+// class with RegRead/RegWrite/ExecuteEvent/DmaComplete callbacks, §A.2).
+type Base struct {
+	DevName string
+	Host    accel.Host
+	Net     *lpn.Net
+
+	queues map[string][]DMARec
+	qHead  map[string]int
+	now    vclock.Time
+
+	stats     accel.DeviceStats
+	busyStart vclock.Time
+	inFlight  int
+}
+
+// Init prepares the base; call once after the LPN is built.
+func (b *Base) Init(name string, host accel.Host, net *lpn.Net) {
+	b.DevName = name
+	b.Host = host
+	b.Net = net
+	b.queues = make(map[string][]DMARec)
+	b.qHead = make(map[string]int)
+}
+
+// Name implements accel.Device.
+func (b *Base) Name() string { return b.DevName }
+
+// Now returns the device's local virtual time.
+func (b *Base) Now() vclock.Time { return b.now }
+
+// Advance implements accel.Device: runs the LPN up to t. Host engines may
+// call it with stale timestamps (EBS intra-epoch skew); it clamps.
+func (b *Base) Advance(t vclock.Time) {
+	if t < b.now {
+		return
+	}
+	b.now = t
+	fired := b.Net.Advance(t)
+	b.stats.HostSteps += int64(fired)
+}
+
+// NextEvent implements accel.Device.
+func (b *Base) NextEvent() (vclock.Time, bool) {
+	return b.Net.NextEvent()
+}
+
+// Stats implements accel.Device.
+func (b *Base) Stats() accel.DeviceStats { return b.stats }
+
+// TaskStarted performs start-of-task bookkeeping; at is the doorbell
+// time.
+func (b *Base) TaskStarted(at vclock.Time) {
+	b.stats.TasksStarted++
+	if b.inFlight == 0 {
+		b.busyStart = at
+	}
+	b.inFlight++
+}
+
+// TaskCompleted performs end-of-task bookkeeping; at is the completion
+// timestamp from the LPN.
+func (b *Base) TaskCompleted(at vclock.Time) {
+	b.stats.TasksCompleted++
+	b.inFlight--
+	if b.inFlight == 0 {
+		b.stats.BusyTime += at.Sub(b.busyStart)
+	}
+}
+
+// Recorder is the functional track's view of host memory: reads happen
+// immediately through zero-cost DMA; every operation is recorded into
+// the tag's FIFO for timed replay by the LPN.
+type Recorder struct{ b *Base }
+
+// Recorder returns the functional-track recorder.
+func (b *Base) Recorder() *Recorder { return &Recorder{b} }
+
+// ReadDMA reads size bytes at addr through zero-cost DMA and records the
+// read under tag.
+func (r *Recorder) ReadDMA(tag string, addr mem.Addr, size int) []byte {
+	buf := make([]byte, size)
+	r.b.Host.ZeroCostRead(addr, buf)
+	r.b.queues[tag] = append(r.b.queues[tag], DMARec{Kind: mem.Read, Addr: addr, Size: size})
+	return buf
+}
+
+// WriteDMA records a write under tag; the payload reaches host memory
+// when the LPN emits the corresponding DMA.
+func (r *Recorder) WriteDMA(tag string, addr mem.Addr, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.b.queues[tag] = append(r.b.queues[tag], DMARec{Kind: mem.Write, Addr: addr, Size: len(data), Data: cp})
+}
+
+// Pending reports how many recorded DMAs remain unreplayed for tag.
+func (b *Base) Pending(tag string) int {
+	return len(b.queues[tag]) - b.qHead[tag]
+}
+
+func (b *Base) pop(tag string) DMARec {
+	q := b.queues[tag]
+	h := b.qHead[tag]
+	if h >= len(q) {
+		panic(fmt.Sprintf("dsim %s: LPN emitted DMA for tag %q but the functional track recorded none — "+
+			"performance and functionality tracks disagree", b.DevName, tag))
+	}
+	rec := q[h]
+	h++
+	if h == len(q) {
+		// Queue fully drained; reset to keep memory bounded.
+		delete(b.queues, tag)
+		delete(b.qHead, tag)
+	} else {
+		b.qHead[tag] = h
+	}
+	return rec
+}
+
+// EmitDMA returns an LPN effect that replays the next recorded DMA of
+// tag when its transition fires. The DMA's timing is simulated by the
+// host (interconnect + caches); if resp is non-nil, a token carrying the
+// completion timestamp is injected there, so downstream transitions can
+// depend on the DMA response (paper §4.3: "The LPN cannot predict the
+// timing of later DMAs that depend on responses to earlier ones").
+func (b *Base) EmitDMA(tag string, resp *lpn.Place) lpn.EffectFunc {
+	return func(f *lpn.Firing, done vclock.Time) {
+		rec := b.pop(tag)
+		comp := b.Host.DMA(f.Time, rec.Kind, rec.Addr, rec.Size)
+		b.stats.DMABytes += int64(rec.Size)
+		if rec.Kind == mem.Write && rec.Data != nil {
+			b.Host.ZeroCostWrite(rec.Addr, rec.Data)
+		}
+		if resp != nil {
+			t := lpn.Tok(comp)
+			if len(f.In) > 0 && len(f.In[0]) > 0 {
+				t.Attrs = f.In[0][0].Attrs
+			}
+			b.Net.Inject(resp, t)
+		}
+	}
+}
+
+// EmitDMABatch returns an effect that replays n recorded DMAs per
+// firing (for stages that issue bursts).
+func (b *Base) EmitDMABatch(tag string, n int, resp *lpn.Place) lpn.EffectFunc {
+	return func(f *lpn.Firing, done vclock.Time) {
+		var last vclock.Time
+		for i := 0; i < n; i++ {
+			rec := b.pop(tag)
+			comp := b.Host.DMA(f.Time, rec.Kind, rec.Addr, rec.Size)
+			b.stats.DMABytes += int64(rec.Size)
+			if rec.Kind == mem.Write && rec.Data != nil {
+				b.Host.ZeroCostWrite(rec.Addr, rec.Data)
+			}
+			if comp > last {
+				last = comp
+			}
+		}
+		if resp != nil {
+			b.Net.Inject(resp, lpn.Tok(last))
+		}
+	}
+}

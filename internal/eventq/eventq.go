@@ -1,0 +1,180 @@
+// Package eventq implements the deterministic discrete-event queue that
+// drives every simulator engine in this repository.
+//
+// Events scheduled for the same virtual time fire in the order they were
+// scheduled (FIFO per timestamp), which — together with single-threaded
+// engines — makes every simulation run bit-reproducible.
+package eventq
+
+import (
+	"container/heap"
+
+	"nexsim/internal/vclock"
+)
+
+// Event is a callback scheduled at a point in virtual time.
+type Event func(now vclock.Time)
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ item *item }
+
+type item struct {
+	at     vclock.Time
+	seq    uint64
+	fn     Event
+	index  int // heap index, -1 when removed
+	cancel bool
+}
+
+// Queue is a deterministic min-heap of timed events. The zero value is
+// ready to use.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+	now vclock.Time
+}
+
+// Now returns the time of the most recently dispatched event.
+func (q *Queue) Now() vclock.Time { return q.now }
+
+// Len reports the number of pending (non-cancelled) events.
+func (q *Queue) Len() int {
+	n := 0
+	for _, it := range q.h {
+		if !it.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no events are pending.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before the last dispatched event) panics: it would violate causality.
+func (q *Queue) At(at vclock.Time, fn Event) Handle {
+	if at < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	q.seq++
+	it := &item{at: at, seq: q.seq, fn: fn}
+	heap.Push(&q.h, it)
+	return Handle{it}
+}
+
+// After schedules fn to run d after the current time.
+func (q *Queue) After(d vclock.Duration, fn Event) Handle {
+	return q.At(q.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.item != nil {
+		h.item.cancel = true
+	}
+}
+
+// Pending reports whether the event is still scheduled.
+func (h Handle) Pending() bool {
+	return h.item != nil && !h.item.cancel && h.item.index >= 0
+}
+
+// NextTime returns the time of the earliest pending event, or
+// (vclock.Never, false) if the queue is empty.
+func (q *Queue) NextTime() (vclock.Time, bool) {
+	q.dropCancelled()
+	if len(q.h) == 0 {
+		return vclock.Never, false
+	}
+	return q.h[0].at, true
+}
+
+// Step dispatches the single earliest event, advancing Now to its time.
+// It reports whether an event was dispatched.
+func (q *Queue) Step() bool {
+	q.dropCancelled()
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(*item)
+	it.index = -1
+	q.now = it.at
+	it.fn(it.at)
+	return true
+}
+
+// RunUntil dispatches events in order until the next event would be
+// strictly after limit, then sets Now to limit (if limit is beyond Now).
+// Events exactly at limit are dispatched.
+func (q *Queue) RunUntil(limit vclock.Time) {
+	for {
+		next, ok := q.NextTime()
+		if !ok || next > limit {
+			break
+		}
+		q.Step()
+	}
+	if limit > q.now {
+		q.now = limit
+	}
+}
+
+// Run dispatches events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// AdvanceTo moves Now forward to t without dispatching anything. It
+// panics if events earlier than t are still pending, or if t is in the
+// past — both would break causality.
+func (q *Queue) AdvanceTo(t vclock.Time) {
+	if t < q.now {
+		panic("eventq: AdvanceTo into the past")
+	}
+	if next, ok := q.NextTime(); ok && next < t {
+		panic("eventq: AdvanceTo past pending events")
+	}
+	q.now = t
+}
+
+func (q *Queue) dropCancelled() {
+	for len(q.h) > 0 && q.h[0].cancel {
+		it := heap.Pop(&q.h).(*item)
+		it.index = -1
+	}
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,130 @@
+package exacthost
+
+import (
+	"fmt"
+
+	"nexsim/internal/app"
+	"nexsim/internal/coro"
+	"nexsim/internal/isa"
+	"nexsim/internal/mem"
+	"nexsim/internal/vclock"
+)
+
+// env implements app.Env for one thread of an exact-time engine. Methods
+// run on the thread's goroutine; the engine goroutine is blocked in
+// Resume while they execute, so reads of engine state are safe.
+type env struct {
+	e  *Engine
+	th *coro.Thread
+}
+
+func (v *env) Now() vclock.Time { return v.e.evq.Now() }
+
+func (v *env) Clock() vclock.Hz { return v.e.cfg.Clock }
+
+func (v *env) Compute(w isa.Work) {
+	v.th.Yield(coro.Request{Op: coro.OpAdvance, Work: w})
+}
+
+func (v *env) ComputeFor(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := st(v.th)
+	s.seedCtr++
+	seed := uint64(v.th.ID)<<32 ^ s.seedCtr
+	v.Compute(isa.Segment(d, v.e.cfg.Clock, isa.DefaultMix, 64<<10, 1.5, seed))
+}
+
+func (v *env) MMIORead(addr mem.Addr) uint32 {
+	var out uint32
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		b := v.e.binding(addr)
+		if b == nil {
+			panic(fmt.Sprintf("exacthost: MMIO read of unmapped address %#x", uint64(addr)))
+		}
+		out = b.Device.RegRead(at, addr-b.MMIOBase)
+		return b.MMIOCost
+	}})
+	return out
+}
+
+func (v *env) MMIOWrite(addr mem.Addr, val uint32) {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		b := v.e.binding(addr)
+		if b == nil {
+			panic(fmt.Sprintf("exacthost: MMIO write of unmapped address %#x", uint64(addr)))
+		}
+		b.Device.RegWrite(at, addr-b.MMIOBase, val)
+		return b.MMIOWriteCost
+	}})
+}
+
+func (v *env) TaskRead(addr mem.Addr, p []byte) {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		v.e.mem.ReadFaulting(addr, p)
+		return v.e.cfg.TaskAccessCost
+	}})
+}
+
+func (v *env) TaskWrite(addr mem.Addr, p []byte) {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		v.e.mem.WriteFaulting(addr, p)
+		return v.e.cfg.TaskAccessCost
+	}})
+}
+
+func (v *env) Mem() *mem.Memory { return v.e.mem }
+
+func (v *env) Self() *coro.Thread { return v.th }
+
+func (v *env) Park() {
+	v.th.Yield(coro.Request{Op: coro.OpPark})
+}
+
+func (v *env) Unpark(t *coro.Thread) {
+	v.th.Yield(coro.Request{Op: coro.OpUnpark, Target: t})
+}
+
+func (v *env) Spawn(name string, fn app.ThreadFunc) *coro.Thread {
+	v.th.Yield(coro.Request{Op: coro.OpSpawn, Name: name, Body: fn})
+	nt := v.th.Spawned
+	v.th.Spawned = nil
+	return nt
+}
+
+func (v *env) Sleep(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.th.Yield(coro.Request{Op: coro.OpSleep, Dur: d})
+}
+
+func (v *env) WaitIRQ(vec int) {
+	v.th.Yield(coro.Request{Op: coro.OpWaitIRQ, Vector: vec})
+}
+
+func (v *env) CompressT(factor float64, fn func()) {
+	if factor <= 0 {
+		panic("exacthost: CompressT factor must be positive")
+	}
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.CompressT, Factor: factor, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.CompressT, Enter: false})
+	fn()
+}
+
+func (v *env) SlipStream(fn func()) {
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.SlipStream, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.SlipStream, Enter: false})
+	fn()
+}
+
+func (v *env) JumpT(fn func()) {
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.JumpT, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.JumpT, Enter: false})
+	fn()
+}
+
+func (v *env) Tick() {
+	v.th.Yield(coro.Request{Op: coro.OpTick})
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nexsim/internal/nex"
+	"nexsim/internal/vclock"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every table and figure of §6 must be present.
+	for _, id := range []string{
+		"table1", "table3", "table4", "fig3", "fig4", "fig5",
+		"cpuonly", "underprov", "compsched", "hybrid", "tail",
+		"whatif", "vtasweep", "protosweep", "tightvschan",
+	} {
+		if !seen[id] {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Smoke-run the cheap experiments so the harness itself stays covered by
+// `go test ./...` (the full set runs via cmd/paperbench).
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range []string{"whatif", "protosweep", "ablation-tick", "ablation-iotlb"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := e.Run(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.Len() == 0 {
+				t.Fatal("experiment produced no output")
+			}
+		})
+	}
+}
+
+func TestWhatIfOrdering(t *testing.T) {
+	// The §6.4 invariant: hypothetical 10x >= realistic bound >= 1.
+	var sb strings.Builder
+	if err := WhatIf(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "CompressT") || !strings.Contains(out, "JumpT") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestVTASweepMonotoneInLatency(t *testing.T) {
+	var sb strings.Builder
+	if err := VTASweep(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The naive 400ns attachment must be the slowest VTA configuration.
+	out := sb.String()
+	if !strings.Contains(out, "SLOWER than CPU") {
+		t.Fatalf("expected the naive design to lose to the CPU:\n%s", out)
+	}
+}
+
+func TestModeledSlowdownFormula(t *testing.T) {
+	// 1000 epochs of 1us: wall = 1000*(13.6+0.45+1)us over 1ms sim = 15.05x.
+	st := nex.Stats{Epochs: 1000, ThreadEpochs: 1000, Rounds: 1000}
+	got := modeledSlowdown(st, vclock.Microsecond, vclock.Millisecond)
+	if got < 14.5 || got > 15.5 {
+		t.Fatalf("modeled slowdown = %.2f, want ~15", got)
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nexsim/internal/core"
+	"nexsim/internal/nex"
+	"nexsim/internal/stats"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// npbSuite is the kernel set used for the NEX configuration studies.
+var npbSuite = []string{"ep", "cg", "mg", "ft", "is", "bt", "sp", "lu"}
+
+// runNPB executes one NPB kernel under NEX with the given parameters and
+// returns (simulated time, wall time, stats).
+func runNPB(kernel string, threads int, ncfg nex.Config, seed uint64) (vclock.Duration, time.Duration, nex.Stats) {
+	cfg := core.Config{Host: core.HostNEX, Cores: 16, Seed: seed}
+	cfg.NEX = ncfg
+	sys := core.Build(cfg)
+	prog := workloads.NPBProgram(kernel, threads, sys.Ctx.Clock)
+	r := sys.Run(prog)
+	return r.SimTime, r.WallTime, r.NEXStats
+}
+
+// npbNative runs the same kernel on the exact-time reference engine with
+// the given core count — the bare-metal ground truth.
+func npbNative(kernel string, threads, cores int) vclock.Duration {
+	cfg := core.Config{Host: core.HostReference, Cores: cores, Seed: 42}
+	sys := core.Build(cfg)
+	prog := workloads.NPBProgram(kernel, threads, sys.Ctx.Clock)
+	return sys.Run(prog).SimTime
+}
+
+// Table4 sweeps the epoch duration and thread count over the NPB suite:
+// slowdown falls with larger epochs, accuracy is best near 1us and
+// degrades both below (pipeline-refill loss) and above (cross-epoch
+// synchronization skew).
+func Table4(w io.Writer) error {
+	epochs := []vclock.Duration{
+		500 * vclock.Nanosecond, 1 * vclock.Microsecond,
+		2 * vclock.Microsecond, 4 * vclock.Microsecond,
+	}
+	threads := []int{1, 8, 16}
+
+	fmt.Fprintf(w, "%-10s %-8s", "metric", "threads")
+	for _, e := range epochs {
+		fmt.Fprintf(w, " %10s", fmtDur(e))
+	}
+	fmt.Fprintln(w)
+
+	type cell struct {
+		slow float64
+		err  float64
+	}
+	grid := make(map[int]map[vclock.Duration]cell)
+	for _, t := range threads {
+		grid[t] = make(map[vclock.Duration]cell)
+		for _, e := range epochs {
+			var errs, slows []float64
+			for _, k := range npbSuite {
+				native := npbNative(k, t, 16)
+				sim, _, st := runNPB(k, t, nex.Config{Epoch: e, VirtualCores: 16}, 42)
+				errs = append(errs, stats.RelErr(sim, native))
+				slows = append(slows, modeledSlowdown(st, e, sim))
+			}
+			grid[t][e] = cell{slow: stats.Summarize(slows).Avg, err: stats.Summarize(errs).Avg}
+		}
+	}
+	for _, t := range threads {
+		fmt.Fprintf(w, "%-10s %-8d", "slowdown", t)
+		for _, e := range epochs {
+			fmt.Fprintf(w, " %9.1fx", grid[t][e].slow)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range threads {
+		fmt.Fprintf(w, "%-10s %-8d", "avg error", t)
+		for _, e := range epochs {
+			fmt.Fprintf(w, " %9.1f%%", grid[t][e].err*100)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(slowdown is modeled from epoch/round counts with the real"+
+		" system's per-epoch costs — see EXPERIMENTS.md; error is measured)")
+	return nil
+}
+
+// modeledSlowdown converts the engine's measured event counters into
+// the wall-clock slowdown NEX exhibits on real hardware (§7's 10-20x
+// baseline overhead from per-epoch kernel crossings); see
+// nex.Stats.ModeledWall.
+func modeledSlowdown(st nex.Stats, epoch vclock.Duration, sim vclock.Duration) float64 {
+	if sim <= 0 {
+		return 0
+	}
+	st.Syncs = 0 // syncs are reported separately (Hybrid experiment)
+	return float64(st.ModeledWall(epoch)) / float64(sim)
+}
+
+// Underprovision evaluates 16 virtual cores on 1, 4 and 16 physical
+// cores (§6.6): fewer physical cores degrade accuracy (and, on the real
+// system, speed — we report the epoch-round count that drives it).
+func Underprovision(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %10s %10s %14s\n", "physcores", "avg err", "max err", "rounds/epochs")
+	for _, phys := range []int{16, 4, 1} {
+		var errs []float64
+		var rounds, epochs int64
+		for _, k := range npbSuite {
+			native := npbNative(k, 16, 16)
+			sim, _, st := runNPB(k, 16, nex.Config{
+				Epoch: 1 * vclock.Microsecond, VirtualCores: 16, PhysicalCores: phys,
+			}, 42)
+			errs = append(errs, stats.RelErr(sim, native))
+			rounds += st.Rounds
+			epochs += st.Epochs
+		}
+		s := stats.Summarize(errs)
+		fmt.Fprintf(w, "%-10d %9.1f%% %9.1f%% %13.1fx\n",
+			phys, s.Avg*100, s.Max*100, float64(rounds)/float64(epochs))
+	}
+	return nil
+}
+
+// CompSched evaluates the complementary scheduling policy in
+// oversubscribed configurations against native Linux-like scheduling
+// (the reference engine's CFS), highlighting the SP/LU divergence of
+// §A.1.
+func CompSched(w io.Writer) error {
+	configs := []struct{ threads, cores int }{
+		{2, 1}, {4, 2}, {8, 4}, {16, 4},
+	}
+	fmt.Fprintf(w, "%-8s", "kernel")
+	for _, c := range configs {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%dT/%dC", c.threads, c.cores))
+	}
+	fmt.Fprintln(w)
+
+	var others, spLu []float64
+	for _, k := range npbSuite {
+		fmt.Fprintf(w, "%-8s", k)
+		for _, c := range configs {
+			native := npbNative(k, c.threads, c.cores)
+			sim, _, _ := runNPB(k, c.threads, nex.Config{
+				Epoch: 1 * vclock.Microsecond, VirtualCores: c.cores,
+			}, 42)
+			e := stats.RelErr(sim, native)
+			if k == "sp" || k == "lu" {
+				spLu = append(spLu, e)
+			} else {
+				others = append(others, e)
+			}
+			fmt.Fprintf(w, " %9.1f%%", e*100)
+		}
+		fmt.Fprintln(w)
+	}
+	so, sl := stats.Summarize(others), stats.Summarize(spLu)
+	fmt.Fprintf(w, "all but SP/LU: avg %.1f%%, max %.1f%%\n", so.Avg*100, so.Max*100)
+	fmt.Fprintf(w, "SP and LU:     avg %.1f%%, max %.1f%% (complementary policy diverges from CFS)\n",
+		sl.Avg*100, sl.Max*100)
+	return nil
+}
+
+// Hybrid measures the cost of hybrid synchronization at 10us and 1us
+// intervals relative to lazy synchronization (§6.7). The engine counts
+// every periodic synchronization; the slowdown is modeled with the real
+// system's cost structure (per-epoch scheduling plus a per-sync global
+// pause + simulator message exchange), the same method as Table 4's
+// slowdown column.
+func Hybrid(w io.Writer) error {
+	type variant struct {
+		mode nex.SyncMode
+		intv vclock.Duration
+	}
+	variants := []variant{
+		{nex.Lazy, 0},
+		{nex.Hybrid, 10 * vclock.Microsecond},
+		{nex.Hybrid, 1 * vclock.Microsecond},
+	}
+	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
+	fmt.Fprintf(w, "%-16s %12s %16s %16s\n",
+		"benchmark", "lazy slowdown", "hybrid 10us", "hybrid 1us")
+	var r10, r1 []float64
+	for _, name := range benches {
+		slows := make([]float64, len(variants))
+		for vi, v := range variants {
+			b := benchByName(name)
+			r := run(b, core.HostNEX, core.AccelDSim, runOpts{
+				nexMode: v.mode, nexSyncInt: v.intv})
+			slows[vi] = modeledSlowdownSync(r.NEXStats, 1*vclock.Microsecond, r.SimTime)
+		}
+		f10 := slows[1] / slows[0]
+		f1 := slows[2] / slows[0]
+		r10 = append(r10, f10)
+		r1 = append(r1, f1)
+		fmt.Fprintf(w, "%-16s %12.1fx %10.1fx %.2fx %9.1fx %.2fx\n",
+			name, slows[0], slows[1], f10, slows[2], f1)
+	}
+	s10, s1 := stats.Summarize(r10), stats.Summarize(r1)
+	fmt.Fprintf(w, "hybrid@10us: avg %.2fx (max %.2fx); hybrid@1us: avg %.2fx (max %.2fx)\n",
+		s10.Avg, s10.Max, s1.Avg, s1.Max)
+	fmt.Fprintln(w, "(slowdowns modeled from measured epoch/sync counts; see EXPERIMENTS.md)")
+	return nil
+}
+
+// modeledSlowdownSync includes the periodic-sync cost (see
+// nex.Stats.ModeledWall).
+func modeledSlowdownSync(st nex.Stats, epoch vclock.Duration, sim vclock.Duration) float64 {
+	if sim <= 0 {
+		return 0
+	}
+	return float64(st.ModeledWall(epoch)) / float64(sim)
+}
+
+func median3(xs []time.Duration) time.Duration {
+	a, b, c := xs[0], xs[1], xs[2]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nexsim/internal/core"
+	"nexsim/internal/interconnect"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// WhatIf reproduces §6.4's early-stage what-if analysis: a multithreaded
+// JPEG application with 8 decoders whose matrix_filter_2d post-processing
+// dominates. CompressT explores a hypothetical 10x offload; a
+// JumpT-instrumented probe derives a tighter memory-bound factor.
+func WhatIf(w io.Writer) error {
+	base := workloads.JPEGConfig{
+		Images: 32, Threads: 8, FilterPasses: 16, Seed: 777,
+	}
+	runJpeg := func(cfg workloads.JPEGConfig) core.Result {
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: core.AccelJPEG, Devices: cfg.Threads, Cores: 16, Seed: 42,
+		})
+		prog := workloads.JPEGProgram(cfg, &sys.Ctx)
+		return sys.Run(prog)
+	}
+
+	baseline := runJpeg(base)
+
+	comp := base
+	comp.Compress = 10
+	compressed := runJpeg(comp)
+
+	probe := base
+	probe.ProbeRealistic = true
+	probed := runJpeg(probe)
+
+	fmt.Fprintf(w, "baseline (8 JPEG decoders, heavy matrix_filter_2d): %s\n", fmtDur(baseline.SimTime))
+	fmt.Fprintf(w, "CompressT 10x on matrix_filter_2d:                  %s (%.2fx overall)\n",
+		fmtDur(compressed.SimTime),
+		float64(baseline.SimTime)/float64(compressed.SimTime))
+	fmt.Fprintf(w, "JumpT-probed realistic bound:                       %s (%.2fx overall)\n",
+		fmtDur(probed.SimTime),
+		float64(baseline.SimTime)/float64(probed.SimTime))
+	return nil
+}
+
+// VTASweep reproduces §6.4's interactive design exploration on
+// ResNet-50: CPU-only vs VTA at PCIe 400ns / 100ns / on-chip 4ns, and
+// finally serving DMAs from an L2 instead of the LLC.
+func VTASweep(w io.Writer) error {
+	// The sweep uses a less channel-scaled ResNet-50 (channels /2 instead
+	// of /4) so the compute:offload-overhead ratio resembles the real
+	// network's; see EXPERIMENTS.md.
+	vcfg := workloads.VTAConfig{Network: "resnet50", Seed: 13, ChannelScale: 2}
+
+	runVTA := func(fab *interconnect.Config, dma core.DMALevel) core.Result {
+		sys := core.Build(core.Config{
+			Host: core.HostNEX, Accel: core.AccelDSim,
+			Model: core.AccelVTA, Devices: 1, Cores: 16, Seed: 42,
+			Fabric: fab, DMATarget: dma,
+		})
+		return sys.Run(workloads.VTAProgram(vcfg, &sys.Ctx))
+	}
+	runCPU := func() core.Result {
+		sys := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
+		return sys.Run(workloads.CPUInferenceProgram(vcfg, &sys.Ctx))
+	}
+
+	cpu := runCPU()
+	fmt.Fprintf(w, "%-34s %12s\n", "configuration", "inference")
+	fmt.Fprintf(w, "%-34s %12s\n", "CPU only (no accelerator)", fmtDur(cpu.SimTime))
+	for _, c := range []struct {
+		name string
+		lat  vclock.Duration
+		dma  core.DMALevel
+	}{
+		{"VTA @ PCIe 400ns, DMA from LLC", 400 * vclock.Nanosecond, core.DMALLC},
+		{"VTA @ PCIe 100ns, DMA from LLC", 100 * vclock.Nanosecond, core.DMALLC},
+		{"VTA on-chip 4ns,  DMA from LLC", 4 * vclock.Nanosecond, core.DMALLC},
+		{"VTA on-chip 4ns,  DMA from L2", 4 * vclock.Nanosecond, core.DMAL2},
+	} {
+		fab := interconnect.PCIe400.WithLatency(c.lat)
+		if c.lat <= 4*vclock.Nanosecond {
+			fab = interconnect.OnChip4
+		}
+		r := runVTA(&fab, c.dma)
+		verdict := "faster than CPU"
+		if r.SimTime > cpu.SimTime {
+			verdict = "SLOWER than CPU"
+		}
+		fmt.Fprintf(w, "%-34s %12s  (%s)\n", c.name, fmtDur(r.SimTime), verdict)
+	}
+	return nil
+}
+
+// ProtoSweep reproduces §6.4's Protoacc observation: the accelerator
+// only delivers speedups when its memory access latency is very low.
+func ProtoSweep(w io.Writer) error {
+	pbName := "protoacc-bench0"
+	b := benchByName(pbName)
+
+	// CPU-only serialization baseline.
+	sysCPU := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
+	pb, _ := workloads.ProtoBenchByName(pbName)
+	cpu := sysCPU.Run(workloads.CPUSerializeProgram(pb, &sysCPU.Ctx))
+
+	fmt.Fprintf(w, "%-30s %12s\n", "configuration", "batch e2e")
+	fmt.Fprintf(w, "%-30s %12s\n", "CPU only (Marshal on Xeon)", fmtDur(cpu.SimTime))
+	for _, lat := range []vclock.Duration{
+		2 * vclock.Nanosecond, 4 * vclock.Nanosecond, 16 * vclock.Nanosecond,
+		64 * vclock.Nanosecond, 128 * vclock.Nanosecond, 256 * vclock.Nanosecond,
+		400 * vclock.Nanosecond,
+	} {
+		fab := interconnect.OnChip4.WithLatency(lat)
+		r := run(b, core.HostNEX, core.AccelDSim, runOpts{fabric: &fab})
+		verdict := "wins"
+		if r.SimTime >= cpu.SimTime {
+			verdict = "loses"
+		}
+		fmt.Fprintf(w, "Protoacc @ mem latency %-7s %12s  (%s vs CPU)\n",
+			fmtDur(lat), fmtDur(r.SimTime), verdict)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package lpn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the net in Graphviz DOT format: places as circles
+// (annotated with their current token counts and capacities),
+// transitions as boxes, arcs with weights. Developers sketching an
+// accelerator microarchitecture as an LPN (§6.4) can render the sketch
+// with `dot -Tsvg`.
+func (n *Net) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	id := make(map[*Place]string, len(n.places))
+	for i, p := range n.places {
+		id[p] = fmt.Sprintf("p%d", i)
+		label := fmt.Sprintf("%s\\n%d tok", p.Name, p.Len())
+		if p.Cap > 0 {
+			label += fmt.Sprintf(" / cap %d", p.Cap)
+		}
+		fmt.Fprintf(&b, "  %s [shape=ellipse label=\"%s\"];\n", id[p], label)
+	}
+	for i, tr := range n.transitions {
+		tid := fmt.Sprintf("t%d", i)
+		fmt.Fprintf(&b, "  %s [shape=box style=filled fillcolor=lightgray label=%q];\n",
+			tid, tr.Name)
+		for _, a := range tr.In {
+			attr := ""
+			if a.weight() > 1 {
+				attr = fmt.Sprintf(" [label=\"%d\"]", a.weight())
+			}
+			fmt.Fprintf(&b, "  %s -> %s%s;\n", id[a.Place], tid, attr)
+		}
+		for _, o := range tr.Out {
+			fmt.Fprintf(&b, "  %s -> %s;\n", tid, id[o.Place])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PlaceNames returns the registered place names, sorted (introspection
+// for tools and tests).
+func (n *Net) PlaceNames() []string {
+	out := make([]string, len(n.places))
+	for i, p := range n.places {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransitionNames returns the registered transition names, in firing
+// priority order.
+func (n *Net) TransitionNames() []string {
+	out := make([]string, len(n.transitions))
+	for i, t := range n.transitions {
+		out[i] = t.Name
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package lpn implements the Latency Petri Net (LPN) abstraction that
+// DSim's performance track is built on (paper §4.1, following "Performance
+// Interfaces for Hardware Accelerators", OSDI'24).
+//
+// An LPN is a timed Petri net that is "performance-equivalent" to a
+// hardware circuit: places model queues and pipeline registers, tokens
+// model in-flight work items (carrying scalar attributes such as byte
+// counts), and transitions model processing stages whose delay may depend
+// on the tokens they consume. Capacity limits on places model
+// backpressure. The net computes *when* things happen, never *what* the
+// data is — functionality lives in the functional track (package dsim).
+//
+// Simulation is event-driven: a transition fires at the earliest time all
+// of its input tokens are available (and its guard holds, and its output
+// places have room), so simulation cost scales with the number of work
+// items, not with clock cycles.
+package lpn
+
+import (
+	"fmt"
+
+	"nexsim/internal/vclock"
+)
+
+// Token is a work item flowing through the net. TS is the time the token
+// becomes available in its place. Attrs carry up to four scalar
+// attributes (byte counts, block indices, tags...) used by delay
+// functions and guards.
+type Token struct {
+	TS    vclock.Time
+	Attrs [4]int64
+}
+
+// Tok constructs a token available at ts with the given attributes.
+func Tok(ts vclock.Time, attrs ...int64) Token {
+	t := Token{TS: ts}
+	copy(t.Attrs[:], attrs)
+	return t
+}
+
+// Place is a FIFO queue of tokens. Cap <= 0 means unbounded.
+type Place struct {
+	Name string
+	Cap  int
+
+	tokens []Token
+	head   int
+}
+
+// Len reports the number of tokens currently in the place (available or
+// not).
+func (p *Place) Len() int { return len(p.tokens) - p.head }
+
+// ReadyLen reports the number of tokens whose timestamp is at or before
+// now, i.e. completions that are externally visible at that instant.
+// (The engine fires transitions eagerly, so a place can hold tokens with
+// future timestamps.)
+func (p *Place) ReadyLen(now vclock.Time) int {
+	n := 0
+	for i := 0; i < p.Len(); i++ {
+		if p.peek(i).TS <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// Peek returns the i-th token from the front without removing it.
+func (p *Place) Peek(i int) Token { return p.peek(i) }
+
+// Pop removes and returns the front token. It panics on an empty place.
+func (p *Place) Pop() Token { return p.pop() }
+
+// Push appends a token. It panics if the place is at capacity — the
+// engine's responsibility is to never fire a transition into a full
+// place.
+func (p *Place) Push(t Token) {
+	if p.Cap > 0 && p.Len() >= p.Cap {
+		panic("lpn: push into full place " + p.Name)
+	}
+	p.tokens = append(p.tokens, t)
+}
+
+// peek returns the i-th token from the front without removing it.
+func (p *Place) peek(i int) Token { return p.tokens[p.head+i] }
+
+func (p *Place) pop() Token {
+	t := p.tokens[p.head]
+	p.head++
+	if p.head > 64 && p.head*2 >= len(p.tokens) {
+		n := copy(p.tokens, p.tokens[p.head:])
+		p.tokens = p.tokens[:n]
+		p.head = 0
+	}
+	return t
+}
+
+// Firing is the context passed to delay functions, guards and effects. It
+// exposes the tokens consumed by the transition, in input-arc order.
+type Firing struct {
+	// Time is the instant the transition fires (inputs satisfied).
+	Time vclock.Time
+	// In holds the consumed tokens grouped per input arc.
+	In [][]Token
+}
+
+// Tok returns the first token consumed from input arc i.
+func (f *Firing) Tok(i int) Token { return f.In[i][0] }
+
+// Arc connects a place to a transition, consuming Weight tokens per
+// firing (Weight 0 means 1).
+type Arc struct {
+	Place  *Place
+	Weight int
+}
+
+func (a Arc) weight() int {
+	if a.Weight <= 0 {
+		return 1
+	}
+	return a.Weight
+}
+
+// OutFunc produces the tokens deposited on an output place when a
+// transition fires; done is the completion time (fire time + delay).
+type OutFunc func(f *Firing, done vclock.Time) []Token
+
+// OutArc deposits tokens on a place after the transition's delay. If Fn
+// is nil, one token with the completion timestamp (and the attributes of
+// the first consumed token, if any) is deposited.
+type OutArc struct {
+	Place *Place
+	Fn    OutFunc
+}
+
+// DelayFunc computes the service delay of a firing.
+type DelayFunc func(f *Firing) vclock.Duration
+
+// GuardFunc decides whether a transition may fire given the tokens it
+// would consume.
+type GuardFunc func(f *Firing) bool
+
+// EffectFunc runs side effects when a transition fires — DSim uses this
+// to emit tagged DMA requests (paper §4.3). done is fire time + delay.
+type EffectFunc func(f *Firing, done vclock.Time)
+
+// Transition is a processing stage.
+type Transition struct {
+	Name   string
+	In     []Arc
+	Out    []OutArc
+	Delay  DelayFunc  // nil means zero delay
+	Guard  GuardFunc  // nil means always enabled
+	Effect EffectFunc // optional
+
+	fires int64
+}
+
+// Fires reports how many times the transition has fired.
+func (t *Transition) Fires() int64 { return t.fires }
+
+// Const returns a DelayFunc with a fixed delay.
+func Const(d vclock.Duration) DelayFunc {
+	return func(*Firing) vclock.Duration { return d }
+}
+
+// PerCycle returns a DelayFunc of n cycles at frequency clk.
+func PerCycle(clk vclock.Hz, n int64) DelayFunc {
+	d := clk.CyclesDur(n)
+	return func(*Firing) vclock.Duration { return d }
+}
+
+// Net is a complete Latency Petri Net.
+type Net struct {
+	Name        string
+	places      []*Place
+	transitions []*Transition
+	now         vclock.Time
+}
+
+// New returns an empty net.
+func New(name string) *Net { return &Net{Name: name} }
+
+// AddPlace registers and returns a new place.
+func (n *Net) AddPlace(name string, capacity int) *Place {
+	p := &Place{Name: name, Cap: capacity}
+	n.places = append(n.places, p)
+	return p
+}
+
+// AddTransition registers a transition. Transitions are examined in
+// registration order, which makes simulation deterministic.
+func (n *Net) AddTransition(t *Transition) *Transition {
+	n.transitions = append(n.transitions, t)
+	return t
+}
+
+// Now returns the net's local virtual time.
+func (n *Net) Now() vclock.Time { return n.now }
+
+// Inject places a token directly (used for task arrival and for external
+// responses such as DMA completions).
+func (n *Net) Inject(p *Place, t Token) { p.Push(t) }
+
+// readyTime computes the earliest time tr could fire, or (Never, false)
+// if it cannot fire with the tokens currently present.
+func (n *Net) readyTime(tr *Transition) (vclock.Time, bool) {
+	ready := n.now
+	for _, a := range tr.In {
+		w := a.weight()
+		if a.Place.Len() < w {
+			return vclock.Never, false
+		}
+		for i := 0; i < w; i++ {
+			if ts := a.Place.peek(i).TS; ts > ready {
+				ready = ts
+			}
+		}
+	}
+	// Backpressure: every output place must have room for at least one
+	// token. (Output token counts are usually 1; OutFuncs producing more
+	// must leave headroom via place capacities.)
+	for _, o := range tr.Out {
+		if o.Place.Cap > 0 && o.Place.Len() >= o.Place.Cap {
+			return vclock.Never, false
+		}
+	}
+	if tr.Guard != nil {
+		f := n.peekFiring(tr, ready)
+		if !tr.Guard(f) {
+			return vclock.Never, false
+		}
+	}
+	return ready, true
+}
+
+func (n *Net) peekFiring(tr *Transition, at vclock.Time) *Firing {
+	f := &Firing{Time: at, In: make([][]Token, len(tr.In))}
+	for i, a := range tr.In {
+		w := a.weight()
+		toks := make([]Token, w)
+		for j := 0; j < w; j++ {
+			toks[j] = a.Place.peek(j)
+		}
+		f.In[i] = toks
+	}
+	return f
+}
+
+// NextEvent returns the earliest time any transition can fire, or
+// (vclock.Never, false) if the net is quiescent.
+func (n *Net) NextEvent() (vclock.Time, bool) {
+	best, any := vclock.Never, false
+	for _, tr := range n.transitions {
+		if at, ok := n.readyTime(tr); ok && at < best {
+			best, any = at, true
+		}
+	}
+	return best, any
+}
+
+// Advance fires transitions in timestamp order until no transition can
+// fire at or before `until`, then sets the net's clock to `until`. It
+// returns the number of firings. External injections (DMA completions)
+// between Advance calls can re-enable transitions.
+func (n *Net) Advance(until vclock.Time) int {
+	fired := 0
+	for {
+		// Deterministic choice: earliest ready time, tie-broken by
+		// transition registration order.
+		var chosen *Transition
+		chosenAt := vclock.Never
+		for _, tr := range n.transitions {
+			if at, ok := n.readyTime(tr); ok && at < chosenAt {
+				chosen, chosenAt = tr, at
+			}
+		}
+		if chosen == nil || chosenAt > until {
+			break
+		}
+		n.fire(chosen, chosenAt)
+		fired++
+	}
+	if until > n.now {
+		n.now = until
+	}
+	return fired
+}
+
+func (n *Net) fire(tr *Transition, at vclock.Time) {
+	if at > n.now {
+		n.now = at
+	}
+	f := &Firing{Time: at, In: make([][]Token, len(tr.In))}
+	for i, a := range tr.In {
+		w := a.weight()
+		toks := make([]Token, w)
+		for j := 0; j < w; j++ {
+			toks[j] = a.Place.pop()
+		}
+		f.In[i] = toks
+	}
+	var d vclock.Duration
+	if tr.Delay != nil {
+		d = tr.Delay(f)
+	}
+	done := at.Add(d)
+	for _, o := range tr.Out {
+		if o.Fn != nil {
+			for _, t := range o.Fn(f, done) {
+				o.Place.Push(t)
+			}
+			continue
+		}
+		t := Token{TS: done}
+		if len(f.In) > 0 && len(f.In[0]) > 0 {
+			t.Attrs = f.In[0][0].Attrs
+		}
+		o.Place.Push(t)
+	}
+	if tr.Effect != nil {
+		tr.Effect(f, done)
+	}
+	tr.fires++
+}
+
+// Quiescent reports whether no transition can currently fire.
+func (n *Net) Quiescent() bool {
+	_, ok := n.NextEvent()
+	return !ok
+}
+
+// TokenCount returns the total number of tokens in the net.
+func (n *Net) TokenCount() int {
+	total := 0
+	for _, p := range n.places {
+		total += p.Len()
+	}
+	return total
+}
+
+// Validate performs structural checks: every transition must have at
+// least one input arc, all arcs must reference places registered in this
+// net, and names must be unique.
+func (n *Net) Validate() error {
+	known := make(map[*Place]bool, len(n.places))
+	names := make(map[string]bool)
+	for _, p := range n.places {
+		known[p] = true
+		if names[p.Name] {
+			return fmt.Errorf("lpn %s: duplicate place name %q", n.Name, p.Name)
+		}
+		names[p.Name] = true
+	}
+	tnames := make(map[string]bool)
+	for _, tr := range n.transitions {
+		if tnames[tr.Name] {
+			return fmt.Errorf("lpn %s: duplicate transition name %q", n.Name, tr.Name)
+		}
+		tnames[tr.Name] = true
+		if len(tr.In) == 0 {
+			return fmt.Errorf("lpn %s: transition %q has no input arcs (would fire forever)", n.Name, tr.Name)
+		}
+		for _, a := range tr.In {
+			if !known[a.Place] {
+				return fmt.Errorf("lpn %s: transition %q consumes from foreign place %q", n.Name, tr.Name, a.Place.Name)
+			}
+		}
+		for _, o := range tr.Out {
+			if !known[o.Place] {
+				return fmt.Errorf("lpn %s: transition %q produces into foreign place %q", n.Name, tr.Name, o.Place.Name)
+			}
+		}
+	}
+	return nil
+}

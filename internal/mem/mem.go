@@ -1,0 +1,220 @@
+// Package mem implements the simulated physical memory shared by the host
+// CPUs and the accelerators.
+//
+// Memory is sparse (allocated in fixed-size pages on first touch) and
+// supports per-region protection hooks: the NEX runtime protects the MMIO
+// and task-buffer regions so that application accesses to them fault into
+// the runtime, mirroring the paper's mprotect()+ptrace trap mechanism
+// (§3.2) on a simulated substrate.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the allocation granularity of the sparse memory.
+const PageSize = 4096
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// AccessKind distinguishes reads from writes in fault hooks.
+type AccessKind int
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// FaultHandler is invoked when a protected region is accessed through the
+// faulting accessors. The handler runs before the access completes; after
+// it returns, the access proceeds against the backing memory (mirroring
+// how the NEX runtime completes the faulting instruction after resolving
+// the trap).
+type FaultHandler func(kind AccessKind, addr Addr, size int)
+
+// Region is a named span of the physical address space.
+type Region struct {
+	Name  string
+	Base  Addr
+	Size  uint64
+	hook  FaultHandler
+	armed bool
+}
+
+// Contains reports whether [addr, addr+size) lies within the region.
+func (r *Region) Contains(addr Addr, size int) bool {
+	return addr >= r.Base && uint64(addr)+uint64(size) <= uint64(r.Base)+r.Size
+}
+
+// Memory is a sparse simulated physical memory. It is not safe for
+// concurrent use; all engines are single-threaded event loops.
+type Memory struct {
+	pages   map[Addr][]byte // keyed by page base
+	regions []*Region       // sorted by Base
+	next    Addr            // bump allocator for Alloc
+}
+
+// New returns an empty memory whose allocator starts at base.
+func New(base Addr) *Memory {
+	return &Memory{pages: make(map[Addr][]byte), next: base}
+}
+
+// Alloc reserves a new named region of at least size bytes, rounded up to
+// whole pages, and returns it. Regions never overlap.
+func (m *Memory) Alloc(name string, size uint64) *Region {
+	if size == 0 {
+		panic("mem: Alloc of zero bytes")
+	}
+	rounded := (size + PageSize - 1) / PageSize * PageSize
+	r := &Region{Name: name, Base: m.next, Size: rounded}
+	m.next += Addr(rounded)
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return r
+}
+
+// Protect arms a fault handler on the region. Subsequent ReadFaulting /
+// WriteFaulting calls that touch the region invoke the handler first.
+func (m *Memory) Protect(r *Region, h FaultHandler) {
+	r.hook = h
+	r.armed = true
+}
+
+// Unprotect disarms the region's fault handler.
+func (m *Memory) Unprotect(r *Region) { r.armed = false }
+
+// RegionAt returns the region containing addr, or nil.
+func (m *Memory) RegionAt(addr Addr) *Region {
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].Base+Addr(m.regions[i].Size) > addr
+	})
+	if i < len(m.regions) && addr >= m.regions[i].Base {
+		return m.regions[i]
+	}
+	return nil
+}
+
+func (m *Memory) page(addr Addr) []byte {
+	base := addr &^ (PageSize - 1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = make([]byte, PageSize)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// ReadAt copies len(buf) bytes at addr into buf without triggering
+// protection (a "zero-cost" functional access in DSim terms, §5).
+func (m *Memory) ReadAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		p := m.page(addr)
+		off := int(addr & (PageSize - 1))
+		n := copy(buf, p[off:])
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// WriteAt copies buf to addr without triggering protection.
+func (m *Memory) WriteAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		p := m.page(addr)
+		off := int(addr & (PageSize - 1))
+		n := copy(p[off:], buf)
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// ReadFaulting is ReadAt through the protection layer: if the access
+// touches an armed region, its handler runs first.
+func (m *Memory) ReadFaulting(addr Addr, buf []byte) {
+	m.maybeFault(Read, addr, len(buf))
+	m.ReadAt(addr, buf)
+}
+
+// WriteFaulting is WriteAt through the protection layer.
+func (m *Memory) WriteFaulting(addr Addr, buf []byte) {
+	m.maybeFault(Write, addr, len(buf))
+	m.WriteAt(addr, buf)
+}
+
+func (m *Memory) maybeFault(kind AccessKind, addr Addr, size int) {
+	if r := m.RegionAt(addr); r != nil && r.armed && r.hook != nil {
+		r.hook(kind, addr, size)
+	}
+}
+
+// Convenience fixed-width accessors (little-endian, matching the modeled
+// x86 host).
+
+// ReadU32 reads a 32-bit little-endian value (non-faulting).
+func (m *Memory) ReadU32(addr Addr) uint32 {
+	var b [4]byte
+	m.ReadAt(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a 32-bit little-endian value (non-faulting).
+func (m *Memory) WriteU32(addr Addr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.WriteAt(addr, b[:])
+}
+
+// ReadU64 reads a 64-bit little-endian value (non-faulting).
+func (m *Memory) ReadU64(addr Addr) uint64 {
+	var b [8]byte
+	m.ReadAt(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a 64-bit little-endian value (non-faulting).
+func (m *Memory) WriteU64(addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.WriteAt(addr, b[:])
+}
+
+// ReadU32Faulting reads a 32-bit value through the protection layer.
+func (m *Memory) ReadU32Faulting(addr Addr) uint32 {
+	var b [4]byte
+	m.ReadFaulting(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32Faulting writes a 32-bit value through the protection layer.
+func (m *Memory) WriteU32Faulting(addr Addr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.WriteFaulting(addr, b[:])
+}
+
+// ReadU64Faulting reads a 64-bit value through the protection layer.
+func (m *Memory) ReadU64Faulting(addr Addr) uint64 {
+	var b [8]byte
+	m.ReadFaulting(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64Faulting writes a 64-bit value through the protection layer.
+func (m *Memory) WriteU64Faulting(addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.WriteFaulting(addr, b[:])
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%s[%#x+%#x]", r.Name, uint64(r.Base), r.Size)
+}

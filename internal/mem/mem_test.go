@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(0x1000)
+	data := []byte("hello, accelerator")
+	m.WriteAt(0x2000, data)
+	got := make([]byte, len(data))
+	m.ReadAt(0x2000, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(0)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := Addr(PageSize - 100) // straddles page boundaries
+	m.WriteAt(addr, data)
+	got := make([]byte, len(data))
+	m.ReadAt(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New(0)
+	got := make([]byte, 64)
+	for i := range got {
+		got[i] = 0xff
+	}
+	m.ReadAt(0x99999, got)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("untouched memory not zero")
+		}
+	}
+}
+
+func TestAllocNonOverlapping(t *testing.T) {
+	m := New(0x1000)
+	a := m.Alloc("a", 100)
+	b := m.Alloc("b", PageSize+1)
+	if a.Size != PageSize {
+		t.Errorf("a.Size = %d, want page-rounded", a.Size)
+	}
+	if b.Size != 2*PageSize {
+		t.Errorf("b.Size = %d, want 2 pages", b.Size)
+	}
+	if a.Base+Addr(a.Size) > b.Base {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	m := New(0x1000)
+	a := m.Alloc("a", PageSize)
+	b := m.Alloc("b", PageSize)
+	if got := m.RegionAt(a.Base + 10); got != a {
+		t.Errorf("RegionAt in a = %v", got)
+	}
+	if got := m.RegionAt(b.Base); got != b {
+		t.Errorf("RegionAt at b.Base = %v", got)
+	}
+	if got := m.RegionAt(b.Base + Addr(b.Size)); got != nil {
+		t.Errorf("RegionAt past end = %v, want nil", got)
+	}
+	if got := m.RegionAt(0x10); got != nil {
+		t.Errorf("RegionAt before all = %v, want nil", got)
+	}
+}
+
+func TestProtectionFires(t *testing.T) {
+	m := New(0x1000)
+	r := m.Alloc("mmio", PageSize)
+	var faults []AccessKind
+	m.Protect(r, func(kind AccessKind, addr Addr, size int) {
+		faults = append(faults, kind)
+		if !r.Contains(addr, size) {
+			t.Errorf("fault outside region: %#x+%d", uint64(addr), size)
+		}
+	})
+	m.WriteU32Faulting(r.Base, 7)
+	_ = m.ReadU32Faulting(r.Base)
+	if len(faults) != 2 || faults[0] != Write || faults[1] != Read {
+		t.Fatalf("faults = %v", faults)
+	}
+	// Non-faulting ("zero-cost") access must not trap.
+	m.WriteU32(r.Base, 9)
+	if len(faults) != 2 {
+		t.Fatal("zero-cost access trapped")
+	}
+	// Access outside the region must not trap.
+	m.WriteU32Faulting(r.Base+Addr(r.Size)+64, 1)
+	if len(faults) != 2 {
+		t.Fatal("unprotected access trapped")
+	}
+}
+
+func TestUnprotect(t *testing.T) {
+	m := New(0)
+	r := m.Alloc("buf", PageSize)
+	fired := 0
+	m.Protect(r, func(AccessKind, Addr, int) { fired++ })
+	m.WriteU64Faulting(r.Base, 1)
+	m.Unprotect(r)
+	m.WriteU64Faulting(r.Base, 2)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestFaultHandlerRunsBeforeAccess(t *testing.T) {
+	// The paper's runtime resolves the trap (e.g. the accelerator writes a
+	// completion flag) and then the faulting read completes and must see
+	// the resolved data.
+	m := New(0)
+	r := m.Alloc("status", PageSize)
+	m.Protect(r, func(kind AccessKind, addr Addr, size int) {
+		if kind == Read {
+			m.WriteU32(r.Base, 0xD0E) // accelerator catch-up writes status
+		}
+	})
+	if got := m.ReadU32Faulting(r.Base); got != 0xD0E {
+		t.Fatalf("read %#x, want value written during fault resolution", got)
+	}
+}
+
+func TestFixedWidthRoundTrip(t *testing.T) {
+	f := func(addr uint32, v64 uint64, v32 uint32) bool {
+		m := New(0)
+		a := Addr(addr)
+		m.WriteU64(a, v64)
+		if m.ReadU64(a) != v64 {
+			return false
+		}
+		m.WriteU32(a+16, v32)
+		return m.ReadU32(a+16) == v32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	New(0).Alloc("zero", 0)
+}

@@ -1,0 +1,144 @@
+package nex
+
+import (
+	"fmt"
+
+	"nexsim/internal/app"
+	"nexsim/internal/coro"
+	"nexsim/internal/isa"
+	"nexsim/internal/mem"
+	"nexsim/internal/vclock"
+)
+
+// env implements app.Env for one NEX-scheduled thread. gettimeofday-style
+// queries return the thread's epoch-relative virtual time, matching the
+// paper's LD_PRELOAD interposition of clock_gettime (§3.2).
+type env struct {
+	e  *Engine
+	th *coro.Thread
+}
+
+func (v *env) Now() vclock.Time { return st(v.th).cursor }
+
+func (v *env) Clock() vclock.Hz { return v.e.cfg.Clock }
+
+func (v *env) Compute(w isa.Work) {
+	v.th.Yield(coro.Request{Op: coro.OpAdvance, Work: w})
+}
+
+func (v *env) ComputeFor(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := st(v.th)
+	s.seedCtr++
+	seed := uint64(v.th.ID)<<32 ^ s.seedCtr
+	v.Compute(isa.Segment(d, v.e.cfg.Clock, isa.DefaultMix, 64<<10, 1.5, seed))
+}
+
+func (v *env) MMIORead(addr mem.Addr) uint32 {
+	var out uint32
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		b := v.e.binding(addr)
+		if b == nil {
+			panic(fmt.Sprintf("nex: MMIO read of unmapped address %#x", uint64(addr)))
+		}
+		out = b.Device.RegRead(at, addr-b.MMIOBase)
+		return b.MMIOCost
+	}})
+	return out
+}
+
+func (v *env) MMIOWrite(addr mem.Addr, val uint32) {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+		b := v.e.binding(addr)
+		if b == nil {
+			panic(fmt.Sprintf("nex: MMIO write of unmapped address %#x", uint64(addr)))
+		}
+		b.Device.RegWrite(at, addr-b.MMIOBase, val)
+		return b.MMIOWriteCost
+	}})
+}
+
+func (v *env) TaskRead(addr mem.Addr, p []byte) {
+	v.th.Yield(coro.Request{
+		Op:    coro.OpInteract,
+		Light: v.e.cfg.TickMode,
+		Interact: func(at vclock.Time) vclock.Duration {
+			v.e.mem.ReadFaulting(addr, p)
+			return v.e.cfg.TaskAccessCost
+		},
+	})
+}
+
+func (v *env) TaskWrite(addr mem.Addr, p []byte) {
+	v.th.Yield(coro.Request{
+		Op:    coro.OpInteract,
+		Light: v.e.cfg.TickMode,
+		Interact: func(at vclock.Time) vclock.Duration {
+			v.e.mem.WriteFaulting(addr, p)
+			return v.e.cfg.TaskAccessCost
+		},
+	})
+}
+
+func (v *env) Mem() *mem.Memory { return v.e.mem }
+
+func (v *env) Self() *coro.Thread { return v.th }
+
+func (v *env) Park() { v.th.Yield(coro.Request{Op: coro.OpPark}) }
+
+func (v *env) Unpark(t *coro.Thread) {
+	v.th.Yield(coro.Request{Op: coro.OpUnpark, Target: t})
+}
+
+func (v *env) Spawn(name string, fn app.ThreadFunc) *coro.Thread {
+	v.th.Yield(coro.Request{Op: coro.OpSpawn, Name: name, Body: fn})
+	nt := v.th.Spawned
+	v.th.Spawned = nil
+	return nt
+}
+
+func (v *env) Sleep(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.th.Yield(coro.Request{Op: coro.OpSleep, Dur: d})
+}
+
+func (v *env) WaitIRQ(vec int) {
+	v.th.Yield(coro.Request{Op: coro.OpWaitIRQ, Vector: vec})
+}
+
+func (v *env) CompressT(factor float64, fn func()) {
+	if factor <= 0 {
+		panic("nex: CompressT factor must be positive")
+	}
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.CompressT, Factor: factor, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.CompressT, Enter: false})
+	fn()
+}
+
+func (v *env) SlipStream(fn func()) {
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.SlipStream, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.SlipStream, Enter: false})
+	fn()
+}
+
+func (v *env) JumpT(fn func()) {
+	v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.JumpT, Enter: true})
+	defer v.th.Yield(coro.Request{Op: coro.OpWarp, Warp: coro.JumpT, Enter: false})
+	fn()
+}
+
+func (v *env) Tick() { v.th.Yield(coro.Request{Op: coro.OpTick}) }
+
+// binding finds the device binding covering an MMIO address.
+func (e *Engine) binding(addr mem.Addr) *DeviceBinding {
+	for _, b := range e.devices {
+		if addr >= b.MMIOBase && uint64(addr) < uint64(b.MMIOBase)+b.MMIOSize {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package nex
+
+import (
+	"nexsim/internal/app"
+	"nexsim/internal/coro"
+	"nexsim/internal/isa"
+	"nexsim/internal/mem"
+	"nexsim/internal/trace"
+	"nexsim/internal/vclock"
+)
+
+// loop drives the simulation epoch by epoch until all threads exit.
+func (e *Engine) loop() {
+	nextSync := vclock.Time(e.cfg.SyncInterval)
+	for e.live > 0 {
+		minWake := e.minWake()
+		devNext, okD := e.minDeviceNext()
+
+		if minWake == vclock.Never {
+			// Everyone is parked; progress can only come from an
+			// undelivered interrupt or future device activity.
+			if len(e.pending) > 0 {
+				e.deliverIRQs(e.roundUp(e.now))
+				continue
+			}
+			if !okD {
+				panic("nex: deadlock — live threads, no wakes, idle devices")
+			}
+			e.advanceDevices(devNext)
+			e.deliverIRQs(e.roundUp(devNext))
+			continue
+		}
+
+		// Interrupt-bearing device activity strictly before the next
+		// thread wake must be processed first so delivery is not
+		// arbitrarily late.
+		if okD && devNext < minWake && (e.cfg.Mode == Hybrid || e.cfg.Mode == Eager) {
+			// Under hybrid/eager the periodic machinery below handles
+			// this; fall through.
+			_ = devNext
+		}
+
+		start := e.now
+		if minWake > start {
+			// Idle gap: no thread can run before minWake. Jump there
+			// without charging per-epoch cost (the real NEX cores would
+			// be parked in the scheduler's idle path).
+			if minWake.Sub(start) >= e.cfg.Epoch {
+				e.Stats.IdleJumps++
+			}
+			start = minWake
+			// Hybrid synchronization still happens across the gap; a
+			// single catch-up at the gap's end is equivalent for device
+			// state and cheaper, but interrupts must be delivered at
+			// their interval boundaries inside the gap.
+			if e.cfg.Mode == Hybrid {
+				for nextSync < start {
+					e.advanceDevices(nextSync)
+					e.Stats.Syncs++
+					e.deliverIRQs(nextSync)
+					nextSync += vclock.Time(e.cfg.SyncInterval)
+				}
+			}
+		}
+		e.now = start
+
+		// One epoch of EBS execution.
+		runnable := e.runnableAt(start)
+		if len(runnable) == 0 {
+			// A wake exists at minWake==start but the thread got
+			// re-parked by IRQ delivery ordering; retry loop.
+			continue
+		}
+		selected := runnable
+		if len(runnable) > e.cfg.VirtualCores {
+			selected = e.cfg.Policy.Select(e.epochIdx, runnable, e.cfg.VirtualCores)
+			if len(selected) > e.cfg.VirtualCores {
+				selected = selected[:e.cfg.VirtualCores]
+			}
+		}
+		end := start.Add(e.epochLen(selected))
+
+		for _, th := range selected {
+			e.runThreadEpoch(th, start, end)
+			if e.live == 0 {
+				break
+			}
+		}
+
+		if e.truncate {
+			// A thread left a SlipStream region: shrink the epoch to the
+			// furthest point actually executed and reschedule immediately.
+			e.truncate = false
+			newEnd := start
+			for _, th := range selected {
+				if c := st(th).cursor; c > newEnd {
+					newEnd = c
+				}
+			}
+			if newEnd < end {
+				for _, th := range e.threads {
+					s := st(th)
+					if !s.exited && !s.parked && s.wakeAt == end {
+						s.wakeAt = newEnd
+					}
+				}
+				end = newEnd
+			}
+		}
+
+		e.Stats.Epochs++
+		e.Stats.ThreadEpochs += int64(len(selected))
+		e.Stats.Rounds += int64((len(selected) + e.cfg.PhysicalCores - 1) / e.cfg.PhysicalCores)
+		e.epochIdx++
+		e.now = end
+
+		// Epoch-boundary synchronization per mode (§3.1).
+		switch e.cfg.Mode {
+		case Eager:
+			e.advanceDevices(end)
+			e.Stats.Syncs++
+			e.deliverIRQs(end)
+		case Hybrid:
+			if end >= nextSync {
+				e.advanceDevices(end)
+				e.Stats.Syncs++
+				e.deliverIRQs(end)
+				for nextSync <= end {
+					nextSync += vclock.Time(e.cfg.SyncInterval)
+				}
+			}
+		case Lazy:
+			// Interrupts discovered during trap-driven catch-ups are
+			// delivered at the epoch boundary; lazy mode never advances
+			// devices on its own.
+			if len(e.pending) > 0 {
+				e.deliverIRQs(end)
+			}
+		}
+	}
+}
+
+// minWake returns the earliest wake time among live threads.
+func (e *Engine) minWake() vclock.Time {
+	min := vclock.Never
+	for _, th := range e.threads {
+		s := st(th)
+		if s.exited || s.parked {
+			continue
+		}
+		if s.wakeAt < min {
+			min = s.wakeAt
+		}
+	}
+	return min
+}
+
+// runnableAt lists threads eligible to run in the epoch starting at t,
+// in thread-creation order (deterministic).
+func (e *Engine) runnableAt(t vclock.Time) []*coro.Thread {
+	var out []*coro.Thread
+	for _, th := range e.threads {
+		s := st(th)
+		if !s.exited && !s.parked && s.wakeAt <= t {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// runThreadEpoch executes one thread's slot within [start, end).
+func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
+	s := st(th)
+	cursor := start
+	segStart := cursor
+	for cursor < end {
+		if s.deficit > 0 {
+			step := s.deficit
+			if avail := end.Sub(cursor); step > avail {
+				step = avail
+			}
+			s.deficit -= step
+			cursor = cursor.Add(step)
+			s.vruntime += step
+			if s.deficit > 0 {
+				// Epoch exhausted mid-segment; continue next epoch.
+				e.traceSpan(th.Name, trace.Compute, segStart, cursor)
+				s.wakeAt = end
+				s.cursor = cursor
+				return
+			}
+			continue
+		}
+
+		s.cursor = cursor
+		r := th.Resume()
+		switch r.Op {
+		case coro.OpExit:
+			s.exited = true
+			s.wakeAt = vclock.Never
+			e.live--
+			if cursor > e.finishT {
+				e.finishT = cursor
+			}
+			e.traceSpan(th.Name, trace.Compute, segStart, cursor)
+			return
+
+		case coro.OpAdvance:
+			s.deficit = e.scaledDuration(s, r.Work)
+
+		case coro.OpInteract:
+			if r.Light {
+				// Tick-mode task-buffer access: charged in-epoch, no trap.
+				cost := r.Interact(cursor)
+				cursor = cursor.Add(cost)
+				s.vruntime += cost
+				continue
+			}
+			e.Stats.Traps++
+			e.advanceDevices(cursor)
+			cost := r.Interact(cursor)
+			e.traceSpan(th.Name, trace.MMIO, cursor, cursor.Add(cost))
+			// The trapping thread resumes at the epoch boundary (or when
+			// the interaction completes, if later) — the paper's
+			// mid-epoch trap inaccuracy (§3.2).
+			wake := end
+			if c := cursor.Add(cost); c > wake {
+				wake = c
+			}
+			s.wakeAt = wake
+			return
+
+		case coro.OpPark:
+			if s.pending {
+				s.pending = false
+				continue
+			}
+			s.parked = true
+			s.wakeAt = vclock.Never
+			e.traceSpan(th.Name, trace.Compute, segStart, cursor)
+			return
+
+		case coro.OpUnpark:
+			t2 := st(r.Target)
+			if t2.parked {
+				t2.parked = false
+				t2.wakeAt = end // runnable from the next epoch: EBS skew
+			} else {
+				t2.pending = true
+			}
+
+		case coro.OpSleep:
+			s.wakeAt = cursor.Add(r.Dur)
+			e.traceSpan(th.Name, trace.Blocked, cursor, s.wakeAt)
+			return
+
+		case coro.OpSpawn:
+			body, ok := r.Body.(app.ThreadFunc)
+			if !ok {
+				panic("nex: spawn body is not an app.ThreadFunc")
+			}
+			nt := e.newThread(r.Name, body)
+			st(nt).wakeAt = end
+			th.Spawned = nt
+
+		case coro.OpWaitIRQ:
+			s.parked = true
+			s.wakeAt = vclock.Never
+			e.irqWait[r.Vector] = append(e.irqWait[r.Vector], th)
+			return
+
+		case coro.OpWarp:
+			wasSlip := s.slip
+			e.handleWarp(s, r)
+			if wasSlip && !s.slip {
+				// Exiting SlipStream resets the epoch duration and forces
+				// an immediate reschedule (§3.4): end this thread's slot
+				// and truncate the (large) epoch at its cursor.
+				s.wakeAt = cursor
+				s.cursor = cursor
+				e.truncate = true
+				return
+			}
+
+		case coro.OpTick:
+			e.Stats.Traps++
+			e.advanceDevices(cursor)
+			s.wakeAt = end
+			return
+		}
+	}
+	// Used the whole epoch (e.g. finished a segment exactly at the
+	// boundary): continue next epoch.
+	s.wakeAt = end
+	s.cursor = end
+}
+
+// scaledDuration applies the engine's accuracy model to a compute
+// segment: calibration bias, underprovisioning interference, per-epoch
+// refill loss, and any active CompressT/JumpT warps.
+func (e *Engine) scaledDuration(s *tstate, w isa.Work) vclock.Duration {
+	if s.jumpt > 0 {
+		return 0
+	}
+	d := w.NativeDuration(e.cfg.Clock)
+	f := e.calBias * (1 + e.interfer)
+	// Different code behaves differently under preemption: a small
+	// deterministic per-segment component on top of the engine-wide
+	// calibration bias (keyed by the segment's identity, not draw
+	// order, so runs stay reproducible).
+	if w.Seed != 0 && e.cfg.CalSigma > 1e-6 {
+		z := w.Seed * 0x9e3779b97f4a7c15
+		z ^= z >> 29
+		f *= 1 + 0.02*(float64(int64(z%2048))-1024)/1024
+	}
+	// Refill loss: each epoch delivers slightly less useful native
+	// execution than NEX credits, inflating simulated time by e/(e-r).
+	if r := float64(e.cfg.RefillLoss); r > 0 {
+		ep := float64(e.cfg.Epoch)
+		f *= ep / (ep - r)
+	}
+	d = vclock.Duration(float64(d) * f)
+	for _, c := range s.compress {
+		d = vclock.Duration(float64(d) / c)
+	}
+	return d
+}
+
+func (e *Engine) handleWarp(s *tstate, r coro.Request) {
+	switch r.Warp {
+	case coro.CompressT:
+		if r.Enter {
+			s.compress = append(s.compress, r.Factor)
+		} else {
+			s.compress = s.compress[:len(s.compress)-1]
+		}
+	case coro.JumpT:
+		if r.Enter {
+			s.jumpt++
+		} else {
+			s.jumpt--
+		}
+	case coro.SlipStream:
+		s.slip = r.Enter
+	}
+}
+
+// advanceDevices catches the accelerator complex (including the
+// dedicated DMA simulator, which our synchronous fabric models in
+// lock-step) up to time t.
+func (e *Engine) advanceDevices(t vclock.Time) {
+	if t < e.devTime {
+		return
+	}
+	e.devTime = t
+	for _, b := range e.devices {
+		b.Device.Advance(t)
+	}
+}
+
+func (e *Engine) minDeviceNext() (vclock.Time, bool) {
+	best, any := vclock.Never, false
+	for _, b := range e.devices {
+		if at, ok := b.Device.NextEvent(); ok && at < best {
+			best, any = at, true
+		}
+	}
+	return best, any
+}
+
+// deliverIRQs wakes WaitIRQ threads for pending interrupts; they become
+// runnable at the boundary time.
+func (e *Engine) deliverIRQs(boundary vclock.Time) {
+	if len(e.pending) == 0 {
+		return
+	}
+	remaining := e.pending[:0]
+	for _, p := range e.pending {
+		waiters := e.irqWait[p.vector]
+		if len(waiters) == 0 {
+			// No waiter yet: keep the interrupt pending (drivers would
+			// otherwise lose the wakeup between checking the status
+			// register and blocking).
+			remaining = append(remaining, p)
+			continue
+		}
+		th := waiters[0]
+		e.irqWait[p.vector] = waiters[1:]
+		s := st(th)
+		s.parked = false
+		wake := boundary
+		if p.at > wake {
+			wake = p.at
+		}
+		s.wakeAt = wake
+		e.Stats.IRQs++
+	}
+	e.pending = remaining
+}
+
+func (e *Engine) traceSpan(comp string, k trace.Kind, a, b vclock.Time) {
+	e.cfg.Trace.Add(trace.Span{Component: comp, Kind: k, Start: a, End: b})
+}
+
+type hostShim struct {
+	e *Engine
+	b *DeviceBinding
+}
+
+func (h *hostShim) DMA(at vclock.Time, kind mem.AccessKind, addr mem.Addr, size int) vclock.Time {
+	if h.b.DMAPort == nil {
+		return at
+	}
+	return h.b.DMAPort.Access(at, kind, addr, size)
+}
+
+func (h *hostShim) ZeroCostRead(addr mem.Addr, p []byte)  { h.e.mem.ReadAt(addr, p) }
+func (h *hostShim) ZeroCostWrite(addr mem.Addr, p []byte) { h.e.mem.WriteAt(addr, p) }
+func (h *hostShim) RaiseIRQ(at vclock.Time, vector int) {
+	h.e.pending = append(h.e.pending, pendingIRQ{at: at, vector: vector})
+}

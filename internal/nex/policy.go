@@ -1,0 +1,76 @@
+package nex
+
+import (
+	"sort"
+
+	"nexsim/internal/coro"
+	"nexsim/internal/vclock"
+)
+
+// FairPolicy is the default complementary scheduling policy of §A.1: a
+// simplified CFS that tracks per-task vruntime and runs the
+// least-serviced threads each epoch.
+//
+// It deliberately simplifies CFS the way the paper describes — and
+// therefore diverges from the reference engine's CFS in the same ways:
+//
+//   - a task resuming from a non-runnable state has its vruntime reset to
+//     a fixed baseline (zero) rather than aligned with the current
+//     minimum, and
+//   - the run length is always one epoch (the minimum granularity),
+//     rather than derived from the number of runnable threads.
+//
+// These differences are what make barrier-heavy workloads (SP, LU)
+// diverge from native Linux in §6.6/§A.1.
+type FairPolicy struct {
+	vr       map[int]vclock.Duration // thread id -> vruntime
+	lastSeen map[int]int64           // thread id -> last epoch observed runnable
+	epoch    vclock.Duration
+}
+
+// NewFairPolicy returns the default policy.
+func NewFairPolicy() *FairPolicy {
+	return &FairPolicy{
+		vr:       make(map[int]vclock.Duration),
+		lastSeen: make(map[int]int64),
+	}
+}
+
+// Select implements Policy.
+func (p *FairPolicy) Select(epoch int64, runnable []*coro.Thread, vcores int) []*coro.Thread {
+	// A thread that was not runnable in the previous epoch is treated as
+	// freshly woken: reset to the fixed baseline (over-prioritizing it,
+	// unlike CFS's min-alignment).
+	for _, th := range runnable {
+		if last, ok := p.lastSeen[th.ID]; !ok || last < epoch-1 {
+			p.vr[th.ID] = 0
+		}
+		p.lastSeen[th.ID] = epoch
+	}
+	picked := make([]*coro.Thread, len(runnable))
+	copy(picked, runnable)
+	sort.SliceStable(picked, func(i, j int) bool {
+		vi, vj := p.vr[picked[i].ID], p.vr[picked[j].ID]
+		if vi != vj {
+			return vi < vj
+		}
+		return picked[i].ID < picked[j].ID
+	})
+	if len(picked) > vcores {
+		picked = picked[:vcores]
+	}
+	// Charge one epoch of service to the selected threads. The engine
+	// tells us the epoch duration via SetEpoch; fall back to a relative
+	// unit otherwise.
+	e := p.epoch
+	if e == 0 {
+		e = 1
+	}
+	for _, th := range picked {
+		p.vr[th.ID] += e
+	}
+	return picked
+}
+
+// SetEpoch informs the policy of the engine's epoch duration.
+func (p *FairPolicy) SetEpoch(e vclock.Duration) { p.epoch = e }

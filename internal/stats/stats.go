@@ -1,0 +1,79 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses: relative errors, summaries across benchmarks, and
+// percentiles for tail-latency analysis (§6.8).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"nexsim/internal/vclock"
+)
+
+// RelErr returns |a-b| / b.
+func RelErr(a, b vclock.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Abs(float64(a)-float64(b)) / math.Abs(float64(b))
+}
+
+// Summary aggregates a set of error observations.
+type Summary struct {
+	N             int
+	Avg, Max, Min float64
+}
+
+// Summarize computes avg/max/min of a sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x > s.Max {
+			s.Max = x
+		}
+		if x < s.Min {
+			s.Min = x
+		}
+	}
+	s.Avg = sum / float64(len(xs))
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample using
+// nearest-rank; it does not modify xs.
+func Percentile(xs []vclock.Duration, p float64) vclock.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]vclock.Duration, len(xs))
+	copy(cp, xs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(cp) {
+		rank = len(cp)
+	}
+	return cp[rank-1]
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

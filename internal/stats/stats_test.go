@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nexsim/internal/vclock"
+)
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if got := RelErr(5, 0); got != 0 {
+		t.Fatalf("RelErr with zero base = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.1, 0.3, 0.2})
+	if s.N != 3 || s.Min != 0.1 || s.Max != 0.3 || math.Abs(s.Avg-0.2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := make([]vclock.Duration, 100)
+	for i := range xs {
+		xs[i] = vclock.Duration(i + 1)
+	}
+	if got := Percentile(xs, 90); got != 90 {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs[:1], 50); got != 1 {
+		t.Fatalf("p50 of singleton = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []vclock.Duration{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []uint32, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]vclock.Duration, len(raw))
+		lo, hi := vclock.Duration(math.MaxInt64), vclock.Duration(0)
+		for i, v := range raw {
+			xs[i] = vclock.Duration(v)
+			if xs[i] < lo {
+				lo = xs[i]
+			}
+			if xs[i] > hi {
+				hi = xs[i]
+			}
+		}
+		got := Percentile(xs, float64(p%101))
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatal("empty geomean not zero")
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Fatal("non-positive geomean not zero")
+	}
+}

@@ -1,0 +1,118 @@
+// Package trace records the coarse-grained execution traces that
+// NEX+DSim offers in place of detailed hardware-level traces (paper §1):
+// how virtual time is spent as execution weaves between CPU threads and
+// accelerators.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nexsim/internal/vclock"
+)
+
+// Kind classifies a span.
+type Kind int
+
+const (
+	Compute   Kind = iota // CPU thread executing
+	Blocked               // CPU thread parked (lock, queue, IRQ wait)
+	MMIO                  // CPU thread interacting with an accelerator
+	AccelBusy             // accelerator processing a task
+	DMASpan               // DMA transfer in flight
+	WarpSpan              // CompressT/SlipStream/JumpT region
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Blocked:
+		return "blocked"
+	case MMIO:
+		return "mmio"
+	case AccelBusy:
+		return "accel"
+	case DMASpan:
+		return "dma"
+	case WarpSpan:
+		return "warp"
+	default:
+		return "?"
+	}
+}
+
+// Span is one attributed interval of virtual time.
+type Span struct {
+	Component string // thread or accelerator name
+	Kind      Kind
+	Start     vclock.Time
+	End       vclock.Time
+	Label     string // optional detail (e.g. task id)
+}
+
+// Recorder accumulates spans. A nil *Recorder is valid and records
+// nothing, so tracing can be disabled without branching at call sites.
+type Recorder struct {
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records a span. No-op on a nil recorder or an empty interval.
+func (r *Recorder) Add(s Span) {
+	if r == nil || s.End <= s.Start {
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns all recorded spans ordered by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Totals aggregates time per (component, kind).
+func (r *Recorder) Totals() map[string]map[Kind]vclock.Duration {
+	totals := make(map[string]map[Kind]vclock.Duration)
+	if r == nil {
+		return totals
+	}
+	for _, s := range r.spans {
+		m := totals[s.Component]
+		if m == nil {
+			m = make(map[Kind]vclock.Duration)
+			totals[s.Component] = m
+		}
+		m[s.Kind] += s.End.Sub(s.Start)
+	}
+	return totals
+}
+
+// Dump writes a human-readable summary of per-component time attribution.
+func (r *Recorder) Dump(w io.Writer) {
+	totals := r.Totals()
+	var comps []string
+	for c := range totals {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Fprintf(w, "%-24s", c)
+		kinds := totals[c]
+		for k := Compute; k <= WarpSpan; k++ {
+			if d, ok := kinds[k]; ok {
+				fmt.Fprintf(w, " %s=%v", k, d)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,222 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nexsim/internal/accel"
+	"nexsim/internal/accel/protoacc"
+	"nexsim/internal/app"
+	"nexsim/internal/core"
+	"nexsim/internal/isa"
+	"nexsim/internal/mem"
+	"nexsim/internal/xrand"
+)
+
+// protoBench parameterizes one HyperProtoBench-style workload: a message
+// shape distribution sampled from a fleet profile. The six benches span
+// the axes that matter for the serializer: message size, field count,
+// string weight, and nesting depth.
+type protoBench struct {
+	name      string
+	messages  int // batch size
+	fields    int // scalar fields per message
+	strFields int
+	strLen    int // mean bytes per string field
+	depth     int // nesting depth (submessages chained)
+	seed      uint64
+	useIRQ    bool
+}
+
+var protoBenches = []protoBench{
+	{name: "protoacc-bench0", messages: 160, fields: 12, strFields: 6, strLen: 160, depth: 3, seed: 201},
+	{name: "protoacc-bench1", messages: 512, fields: 4, strFields: 1, strLen: 48, depth: 1, seed: 202},
+	{name: "protoacc-bench2", messages: 96, fields: 4, strFields: 3, strLen: 2048, depth: 1, seed: 203},
+	{name: "protoacc-bench3", messages: 128, fields: 6, strFields: 1, strLen: 128, depth: 3, seed: 204},
+	{name: "protoacc-bench4", messages: 128, fields: 12, strFields: 4, strLen: 512, depth: 2, seed: 205},
+	{name: "protoacc-bench5", messages: 160, fields: 30, strFields: 6, strLen: 96, depth: 1, seed: 206},
+}
+
+// ProtoaccBenches returns the serialization benchmarks.
+func ProtoaccBenches() []Bench {
+	var out []Bench
+	for _, pb := range protoBenches {
+		pb := pb
+		out = append(out, Bench{
+			Name:    pb.name,
+			Model:   core.AccelProtoacc,
+			Devices: 1,
+			Threads: 1,
+			Build:   func(ctx *core.Ctx) app.Program { return ProtoaccProgram(pb, ctx) },
+		})
+	}
+	return out
+}
+
+// buildSchema constructs the bench's message type.
+func buildSchema(pb protoBench) *protoacc.MessageDesc {
+	var build func(level int) *protoacc.MessageDesc
+	build = func(level int) *protoacc.MessageDesc {
+		d := &protoacc.MessageDesc{Name: fmt.Sprintf("%s.L%d", pb.name, level)}
+		num := 1
+		for i := 0; i < pb.fields; i++ {
+			kind := protoacc.KindInt64
+			switch i % 4 {
+			case 1:
+				kind = protoacc.KindSint64
+			case 2:
+				kind = protoacc.KindFixed64
+			case 3:
+				kind = protoacc.KindFixed32
+			}
+			d.Fields = append(d.Fields, protoacc.FieldDesc{Number: num, Kind: kind})
+			num++
+		}
+		for i := 0; i < pb.strFields; i++ {
+			d.Fields = append(d.Fields, protoacc.FieldDesc{Number: num, Kind: protoacc.KindBytes})
+			num++
+		}
+		if level+1 < pb.depth {
+			d.Fields = append(d.Fields, protoacc.FieldDesc{
+				Number: num, Kind: protoacc.KindMessage, Sub: build(level + 1),
+			})
+		}
+		return d
+	}
+	return build(0)
+}
+
+// fillRandom populates a message instance.
+func fillRandom(d *protoacc.MessageDesc, rng *xrand.Stream, strLen int) *protoacc.Message {
+	m := protoacc.NewMessage(d)
+	for i, f := range d.Fields {
+		switch f.Kind {
+		case protoacc.KindBytes:
+			n := strLen/2 + rng.Intn(strLen+1)
+			buf := make([]byte, n)
+			for j := range buf {
+				buf[j] = byte(rng.Intn(256))
+			}
+			m.Values[i] = protoacc.Value{Bytes: buf, Set: true}
+		case protoacc.KindMessage:
+			m.Values[i] = protoacc.Value{Msg: fillRandom(f.Sub, rng, strLen), Set: true}
+		default:
+			m.Values[i] = protoacc.Value{Int: rng.Uint64() >> uint(rng.Intn(48)), Set: true}
+		}
+	}
+	return m
+}
+
+// ProtoaccProgram builds the asynchronous serialization application: the
+// CPU creates and fills messages (the costly part the paper points at),
+// launches the batch, then waits for completion.
+func ProtoaccProgram(pb protoBench, ctx *core.Ctx) app.Program {
+	return app.Program{
+		Name: pb.name,
+		Main: func(e app.Env) {
+			raw := ctx.Devices[0]
+			if u, ok := raw.(interface{ Unwrap() accel.Device }); ok {
+				raw = u.Unwrap()
+			}
+			dev := raw.(interface {
+				RegisterSchema(uint32, *protoacc.MessageDesc)
+			})
+			schema := buildSchema(pb)
+			dev.RegisterSchema(1, schema)
+			drv := protoacc.NewDriver(ctx.MMIO[0], ctx.TaskBufs[0], 128)
+			if pb.useIRQ {
+				drv.EnableIRQ(e)
+			}
+
+			rng := xrand.New(pb.seed)
+			type staged struct {
+				root mem.Addr
+				out  mem.Addr
+				size int
+			}
+			var batch []staged
+
+			// Message creation and content filling on the CPU,
+			// interleaved with asynchronous launches (paper §6.1: the CPU
+			// preprocesses and launches a series of tasks, then waits).
+			next := ctx.Arena
+			for i := 0; i < pb.messages; i++ {
+				msg := fillRandom(schema, rng.Derive(fmt.Sprintf("m%d", i)), pb.strLen)
+				lay := protoacc.Store(e.Mem(), next, msg)
+				next += mem.Addr(lay.Total+4095) &^ 4095
+				out := next
+				wireSize := protoacc.SerializedSize(msg)
+				next += mem.Addr(wireSize+4+4095) &^ 4095
+				batch = append(batch, staged{root: lay.Root, out: out, size: wireSize})
+
+				// Creation cost: ~150 cycles per field plus ~1 cycle/byte
+				// of content filling at the native host.
+				bytes := int64(lay.DataLen) + int64(lay.Fields)*8
+				e.Compute(cyclesWork(ctx.Clock, int64(lay.Fields)*150+bytes,
+					isa.MemHeavyMix, int64(lay.Total), 1.42, pb.seed^uint64(i)))
+				s := batch[len(batch)-1]
+				drv.Submit(e, protoacc.Desc{Root: s.root, Out: s.out, Schema: 1})
+			}
+			if pb.useIRQ {
+				drv.WaitAllIRQ(e)
+			} else {
+				drv.WaitAll(e, 0)
+			}
+		},
+	}
+}
+
+// WithIRQ returns a copy of a named bench configured for interrupt-driven
+// completion (the §6.7 hybrid-synchronization study).
+func WithIRQ(pb protoBench) protoBench {
+	pb.useIRQ = true
+	return pb
+}
+
+// CPUSerializeProgram is the CPU-only baseline: Marshal on the host at
+// its native serialization rate (~1.3 GB/s plus per-field overhead).
+func CPUSerializeProgram(pb protoBench, ctx *core.Ctx) app.Program {
+	return app.Program{
+		Name: pb.name + "-cpu",
+		Main: func(e app.Env) {
+			schema := buildSchema(pb)
+			rng := xrand.New(pb.seed)
+			for i := 0; i < pb.messages; i++ {
+				msg := fillRandom(schema, rng.Derive(fmt.Sprintf("m%d", i)), pb.strLen)
+				size := protoacc.SerializedSize(msg)
+				fields := countFields(msg)
+				// Creation cost (same as the accelerated path).
+				bytes := int64(size)
+				e.Compute(cyclesWork(ctx.Clock, int64(fields)*150+bytes,
+					isa.MemHeavyMix, bytes, 1.42, pb.seed^uint64(i)))
+				// Serialization itself: ~75 cycles/field + ~2.2 cycles/byte.
+				e.Compute(cyclesWork(ctx.Clock, int64(fields)*75+bytes*11/5,
+					isa.MemHeavyMix, bytes*2, 1.75, pb.seed^uint64(i)^0xabc))
+			}
+		},
+	}
+}
+
+func countFields(m *protoacc.Message) int {
+	n := 0
+	for i := range m.Values {
+		if !m.Values[i].Set {
+			continue
+		}
+		n++
+		if m.Values[i].Msg != nil {
+			n += countFields(m.Values[i].Msg)
+		}
+	}
+	return n
+}
+
+// ProtoBenchByName returns the bench parameters (for the tail-latency
+// and sweep experiments).
+func ProtoBenchByName(name string) (protoBench, bool) {
+	for _, pb := range protoBenches {
+		if pb.name == name {
+			return pb, true
+		}
+	}
+	return protoBench{}, false
+}

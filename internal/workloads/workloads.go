@@ -1,0 +1,71 @@
+// Package workloads defines the benchmark applications of the paper's
+// evaluation (§6.1, Table 2): the VTA deep-learning stack (ResNet-18/34/
+// 50, YOLOv3-tiny, matmul), the Protoacc serialization stack
+// (HyperProtoBench-style bench0–5), the JPEG decoding stack (image
+// corpus + post-processing, single- and multi-threaded), and the
+// NPB-style OpenMP kernels used for NEX's configuration studies (§6.6).
+//
+// Every workload is an app.Program built against a core.Ctx, so the same
+// unmodified program runs on every host/accelerator engine combination.
+// Workload sizes are scaled down from the paper's (which simulate
+// seconds of execution) so that the slowest baseline (gem5+RTL)
+// completes in seconds of host time; scaling factors are recorded in
+// EXPERIMENTS.md.
+package workloads
+
+import (
+	"fmt"
+
+	"nexsim/internal/app"
+	"nexsim/internal/core"
+	"nexsim/internal/isa"
+	"nexsim/internal/vclock"
+)
+
+// Bench is one catalogued benchmark.
+type Bench struct {
+	Name    string
+	Model   core.AccelModel // required accelerator ("" = CPU-only)
+	Devices int             // accelerator instances
+	Threads int             // application threads (beyond main)
+	// Build constructs the program against an assembled system.
+	Build func(ctx *core.Ctx) app.Program
+}
+
+// Catalog returns all named benchmarks.
+func Catalog() []Bench {
+	var all []Bench
+	all = append(all, VTABenches()...)
+	all = append(all, ProtoaccBenches()...)
+	all = append(all, JPEGBenches()...)
+	all = append(all, NPBBenches(8)...)
+	return all
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Bench, error) {
+	for _, b := range Catalog() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Bench{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// cyclesWork builds a compute segment from a native cycle count with a
+// consistent instruction count (Instr = cycles x IPCNative), so the
+// gem5-style model's deviation reflects only its timing model, not
+// bookkeeping mismatches.
+func cyclesWork(clk vclock.Hz, cycles int64, mix isa.Mix, ws int64, ipc float64, seed uint64) isa.Work {
+	if cycles < 1 {
+		cycles = 1
+	}
+	return isa.Work{
+		Instr:      int64(float64(cycles) * ipc),
+		Mix:        mix,
+		WorkingSet: ws,
+		IPCNative:  ipc,
+		Seed:       seed,
+		NativeDur:  clk.CyclesDur(cycles),
+	}
+}

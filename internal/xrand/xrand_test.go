@@ -1,0 +1,115 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded streams diverged")
+		}
+	}
+}
+
+func TestDeriveIndependentOfOrder(t *testing.T) {
+	root1 := New(7)
+	x1 := root1.Derive("x")
+	y1 := root1.Derive("y")
+
+	root2 := New(7)
+	y2 := root2.Derive("y")
+	x2 := root2.Derive("x")
+
+	if x1.Uint64() != x2.Uint64() || y1.Uint64() != y2.Uint64() {
+		t.Fatal("derived streams depend on creation order")
+	}
+}
+
+func TestDeriveDistinct(t *testing.T) {
+	root := New(7)
+	if root.Derive("a").Uint64() == root.Derive("b").Uint64() {
+		t.Fatal("sibling streams collide")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		v := New(seed).Intn(nn)
+		return v >= 0 && v < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(5)
+	const sigma = 0.02
+	for i := 0; i < 10000; i++ {
+		j := s.Jitter(sigma)
+		if j < 1-3*sigma || j > 1+3*sigma {
+			t.Fatalf("jitter %v escapes truncation", j)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nn := int(n % 64)
+		p := New(seed).Perm(nn)
+		seen := make([]bool, nn)
+		for _, v := range p {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
