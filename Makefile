@@ -1,0 +1,7 @@
+check:
+	sh check.sh
+
+bench:
+	go test -bench . -benchtime 1x ./...
+
+.PHONY: check bench

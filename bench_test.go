@@ -186,3 +186,28 @@ func BenchmarkTightVsChannel_VTAMatmul(b *testing.B) {
 		sys.Run(bench.Build(&sys.Ctx))
 	}
 }
+
+// --- Sweep executor: the same experiment serially and with 4 workers.
+// On a multicore host the parallel target approaches a len(jobs)-bounded
+// fraction of the serial wall time; on a single core it tracks the
+// executor's overhead instead. ---
+
+func BenchmarkVTASweep_Serial(b *testing.B) {
+	experiments.SetParallelism(1)
+	defer experiments.SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		if err := experiments.VTASweep(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVTASweep_Parallel4(b *testing.B) {
+	experiments.SetParallelism(4)
+	defer experiments.SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		if err := experiments.VTASweep(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,15 +8,22 @@
 //	nexsim -list
 //	nexsim -bench vta-resnet50 -host nex -accel dsim -trace
 //	nexsim -bench jpeg-decode -host gem5 -accel rtl
+//	nexsim -bench vta-resnet18 -seeds 8 -parallel 4
+//
+// -seeds N runs the benchmark under N consecutive seeds (a quick
+// robustness sweep); -parallel fans those independent runs across
+// workers via the internal/sweep executor.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"nexsim/internal/core"
+	"nexsim/internal/sweep"
 	"nexsim/internal/trace"
 	"nexsim/internal/vclock"
 	"nexsim/internal/workloads"
@@ -32,6 +39,9 @@ func main() {
 		chrome    = flag.String("chrome-trace", "", "write the trace as Chrome trace-event JSON to this file")
 		list      = flag.Bool("list", false, "list benchmarks")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
+		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds (starting at -seed)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"workers for the -seeds sweep (1 = serial)")
 	)
 	flag.Parse()
 
@@ -86,6 +96,38 @@ func main() {
 	if *epoch > 0 {
 		cfg.NEX.Epoch = vclock.FromStd(*epoch)
 	}
+
+	if *seeds > 1 {
+		// Seed sweep: each run builds its own system, so the runs are
+		// independent and fan across the sweep executor's workers.
+		jobs := make([]func() core.Result, *seeds)
+		for i := range jobs {
+			scfg := cfg
+			scfg.Seed = *seed + uint64(i)
+			jobs[i] = func() core.Result {
+				sys := core.Build(scfg)
+				return sys.Run(b.Build(&sys.Ctx))
+			}
+		}
+		start := time.Now()
+		res := sweep.Map(sweep.New(*parallel), jobs)
+		wall := time.Since(start)
+		fmt.Printf("benchmark:   %s\n", b.Name)
+		fmt.Printf("combination: %v+%v\n", host, acc)
+		fmt.Printf("%-8s %14s\n", "seed", "simulated")
+		for i, r := range res {
+			fmt.Printf("%-8d %14v\n", *seed+uint64(i), r.SimTime)
+		}
+		workers := sweep.New(*parallel).Workers()
+		noun := "workers"
+		if workers == 1 {
+			noun = "worker"
+		}
+		fmt.Printf("(%d seeds on %d %s in %v)\n",
+			*seeds, workers, noun, wall.Round(time.Microsecond))
+		return
+	}
+
 	var rec *trace.Recorder
 	if *showTrace || *chrome != "" {
 		rec = trace.New()

@@ -7,21 +7,43 @@
 //	paperbench -list
 //	paperbench -exp fig3
 //	paperbench -exp all
+//	paperbench -exp all -parallel 8 -json results.json
+//
+// -parallel N fans each experiment's independent simulation runs across
+// N workers (default GOMAXPROCS; 1 reproduces the historical serial
+// harness). Tables are byte-identical at any worker count: experiments
+// enumerate jobs first and render from order-preserved results.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"nexsim/internal/experiments"
 )
 
+// jsonEntry is one experiment's record in the -json report.
+type jsonEntry struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	WallMS   float64 `json:"wall_ms"`
+	Headline string  `json:"headline"`
+}
+
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		list = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"workers for each experiment's simulation jobs (1 = serial)")
+		jsonPath = flag.String("json", "",
+			"write per-experiment wall time and headline metrics to this file as a JSON array")
 	)
 	flag.Parse()
 
@@ -32,26 +54,66 @@ func main() {
 		return
 	}
 
+	experiments.SetParallelism(*parallel)
+
+	var report []jsonEntry
 	run := func(e experiments.Experiment) {
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		// Render to a buffer so the -json report can extract the headline
+		// (the last non-empty line, where every experiment prints its
+		// summary statistic or final row).
+		var buf bytes.Buffer
 		start := time.Now()
-		if err := e.Run(os.Stdout); err != nil {
+		err := e.Run(&buf)
+		wall := time.Since(start)
+		os.Stdout.Write(buf.Bytes())
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, wall.Round(time.Millisecond))
+		report = append(report, jsonEntry{
+			ID:       e.ID,
+			Title:    e.Title,
+			WallMS:   float64(wall) / float64(time.Millisecond),
+			Headline: lastLine(buf.String()),
+		})
 	}
 
 	if *exp == "all" {
 		for _, e := range experiments.All() {
 			run(e)
 		}
-		return
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, err := experiments.ByID(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	run(e)
+}
+
+// lastLine returns the last non-empty line of an experiment's output.
+func lastLine(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if t := strings.TrimSpace(lines[i]); t != "" {
+			return t
+		}
+	}
+	return ""
 }

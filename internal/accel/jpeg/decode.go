@@ -3,6 +3,7 @@ package jpeg
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // DecodeStats captures content-dependent quantities the performance
@@ -43,8 +44,12 @@ type Decoder struct {
 // (and repeated harness runs) decode identical corpora; caching removes
 // this substrate cost from wall-clock comparisons without touching
 // timing (see DESIGN.md §1). Cached images and stats are shared
-// read-only.
-var decodeCache = map[uint64]*decodeResult{}
+// read-only. The mutex makes the cache safe under the parallel sweep
+// executor, which runs independent simulations on concurrent workers.
+var decodeCache = struct {
+	sync.Mutex
+	m map[uint64]*decodeResult
+}{m: map[uint64]*decodeResult{}}
 
 type decodeResult struct {
 	img   *Image
@@ -66,11 +71,18 @@ func fnv64(data []byte) uint64 {
 // stats as immutable.
 func Decode(data []byte) (*Image, *DecodeStats, error) {
 	key := fnv64(data) ^ uint64(len(data))<<48
-	if r, ok := decodeCache[key]; ok {
+	decodeCache.Lock()
+	r, ok := decodeCache.m[key]
+	decodeCache.Unlock()
+	if ok {
 		return r.img, r.stats, r.err
 	}
+	// Decode outside the lock; concurrent workers may decode the same
+	// stream once each, but the result is identical and immutable.
 	img, stats, err := decodeUncached(data)
-	decodeCache[key] = &decodeResult{img: img, stats: stats, err: err}
+	decodeCache.Lock()
+	decodeCache.m[key] = &decodeResult{img: img, stats: stats, err: err}
+	decodeCache.Unlock()
 	return img, stats, err
 }
 

@@ -1,0 +1,47 @@
+package eventq
+
+import (
+	"testing"
+
+	"nexsim/internal/vclock"
+)
+
+// BenchmarkPushPop measures the schedule+dispatch cycle that every
+// engine's inner loop pays per event.
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+vclock.Time(i%64), func(vclock.Time) {})
+		if i%64 == 63 {
+			for q.Step() {
+			}
+		}
+	}
+}
+
+// BenchmarkLen measures Len with many pending events — O(1) since the
+// live-count field; previously an O(n) scan of the heap.
+func BenchmarkLen(b *testing.B) {
+	var q Queue
+	for i := 0; i < 4096; i++ {
+		q.At(vclock.Time(i), func(vclock.Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Len() != 4096 {
+			b.Fatal("wrong length")
+		}
+	}
+}
+
+// BenchmarkCancel measures schedule+cancel churn (timeout-style usage).
+func BenchmarkCancel(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		h := q.After(vclock.Duration(100), func(vclock.Time) {})
+		h.Cancel()
+		if i%1024 == 1023 {
+			q.dropCancelled()
+		}
+	}
+}

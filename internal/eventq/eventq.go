@@ -19,6 +19,7 @@ type Event func(now vclock.Time)
 type Handle struct{ item *item }
 
 type item struct {
+	q      *Queue
 	at     vclock.Time
 	seq    uint64
 	fn     Event
@@ -29,27 +30,20 @@ type item struct {
 // Queue is a deterministic min-heap of timed events. The zero value is
 // ready to use.
 type Queue struct {
-	h   itemHeap
-	seq uint64
-	now vclock.Time
+	h    itemHeap
+	seq  uint64
+	now  vclock.Time
+	live int // pending (non-cancelled) events; keeps Len O(1)
 }
 
 // Now returns the time of the most recently dispatched event.
 func (q *Queue) Now() vclock.Time { return q.now }
 
-// Len reports the number of pending (non-cancelled) events.
-func (q *Queue) Len() int {
-	n := 0
-	for _, it := range q.h {
-		if !it.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Len reports the number of pending (non-cancelled) events in O(1).
+func (q *Queue) Len() int { return q.live }
 
 // Empty reports whether no events are pending.
-func (q *Queue) Empty() bool { return q.Len() == 0 }
+func (q *Queue) Empty() bool { return q.live == 0 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before the last dispatched event) panics: it would violate causality.
@@ -58,8 +52,9 @@ func (q *Queue) At(at vclock.Time, fn Event) Handle {
 		panic("eventq: scheduling event in the past")
 	}
 	q.seq++
-	it := &item{at: at, seq: q.seq, fn: fn}
+	it := &item{q: q, at: at, seq: q.seq, fn: fn}
 	heap.Push(&q.h, it)
+	q.live++
 	return Handle{it}
 }
 
@@ -71,9 +66,12 @@ func (q *Queue) After(d vclock.Duration, fn Event) Handle {
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.item != nil {
-		h.item.cancel = true
+	it := h.item
+	if it == nil || it.cancel || it.index < 0 {
+		return
 	}
+	it.cancel = true
+	it.q.live--
 }
 
 // Pending reports whether the event is still scheduled.
@@ -100,6 +98,7 @@ func (q *Queue) Step() bool {
 	}
 	it := heap.Pop(&q.h).(*item)
 	it.index = -1
+	q.live--
 	q.now = it.at
 	it.fn(it.at)
 	return true

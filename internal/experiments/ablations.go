@@ -16,13 +16,22 @@ import (
 // error they carry.
 func AblationTick(w io.Writer) error {
 	benches := []string{"protoacc-bench0", "jpeg-decode", "vta-resnet18"}
-	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
-		"benchmark", "traps(tick)", "traps(no)", "err(tick)", "err(no)")
+
+	// Enumerate: a (reference, tick, no-tick) triple per benchmark.
+	var jobs []func() core.Result
 	for _, name := range benches {
 		b := benchByName(name)
-		ref := run(b, core.HostReference, core.AccelDSim, runOpts{})
-		withTick := run(b, core.HostNEX, core.AccelDSim, runOpts{})
-		noTick := run(b, core.HostNEX, core.AccelDSim, runOpts{noTick: true})
+		jobs = append(jobs,
+			func() core.Result { return run(b, core.HostReference, core.AccelDSim, runOpts{}) },
+			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{}) },
+			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{noTick: true}) })
+	}
+	res := runJobs(jobs)
+
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
+		"benchmark", "traps(tick)", "traps(no)", "err(tick)", "err(no)")
+	for i, name := range benches {
+		ref, withTick, noTick := res[3*i], res[3*i+1], res[3*i+2]
 		fmt.Fprintf(w, "%-18s %12d %12d %11.1f%% %11.1f%%\n",
 			name, withTick.NEXStats.Traps, noTick.NEXStats.Traps,
 			100*stats.RelErr(withTick.SimTime, ref.SimTime),
@@ -36,13 +45,22 @@ func AblationTick(w io.Writer) error {
 // synchronization events for no accuracy benefit on these workloads.
 func AblationSync(w io.Writer) error {
 	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
-	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
-		"benchmark", "syncs(lazy)", "syncs(eager)", "err(lazy)", "err(eager)")
+
+	// Enumerate: a (reference, lazy, eager) triple per benchmark.
+	var jobs []func() core.Result
 	for _, name := range benches {
 		b := benchByName(name)
-		ref := run(b, core.HostReference, core.AccelDSim, runOpts{})
-		lazy := run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Lazy})
-		eager := run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Eager})
+		jobs = append(jobs,
+			func() core.Result { return run(b, core.HostReference, core.AccelDSim, runOpts{}) },
+			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Lazy}) },
+			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Eager}) })
+	}
+	res := runJobs(jobs)
+
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
+		"benchmark", "syncs(lazy)", "syncs(eager)", "err(lazy)", "err(eager)")
+	for i, name := range benches {
+		ref, lazy, eager := res[3*i], res[3*i+1], res[3*i+2]
 		fmt.Fprintf(w, "%-18s %12d %12d %11.1f%% %11.1f%%\n",
 			name, lazy.NEXStats.Syncs, eager.NEXStats.Syncs,
 			100*stats.RelErr(lazy.SimTime, ref.SimTime),
@@ -60,12 +78,21 @@ func AblationSync(w io.Writer) error {
 // magnitude apart in internal steps.
 func AblationDSim(w io.Writer) error {
 	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
-	fmt.Fprintf(w, "%-18s %14s %14s %12s\n",
-		"benchmark", "DSim wall", "RTL wall", "sim-time err")
+
+	// Enumerate: a (DSim, RTL) wall-time pair per benchmark.
+	var jobs []func() core.Result
 	for _, name := range benches {
 		b := benchByName(name)
-		dsim := runWall(b, core.HostNEX, core.AccelDSim, runOpts{})
-		rtl := runWall(b, core.HostNEX, core.AccelRTL, runOpts{})
+		jobs = append(jobs,
+			func() core.Result { return runWall(b, core.HostNEX, core.AccelDSim, runOpts{}) },
+			func() core.Result { return runWall(b, core.HostNEX, core.AccelRTL, runOpts{}) })
+	}
+	res := runJobs(jobs)
+
+	fmt.Fprintf(w, "%-18s %14s %14s %12s\n",
+		"benchmark", "DSim wall", "RTL wall", "sim-time err")
+	for i, name := range benches {
+		dsim, rtl := res[2*i], res[2*i+1]
 		fmt.Fprintf(w, "%-18s %14s %14s %11.1f%%\n",
 			name, fmtWall(dsim.WallTime), fmtWall(rtl.WallTime),
 			100*stats.RelErr(dsim.SimTime, rtl.SimTime))
@@ -79,21 +106,31 @@ func AblationDSim(w io.Writer) error {
 // almost nothing.
 func AblationIOTLB(w io.Writer) error {
 	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
-	fmt.Fprintf(w, "%-18s %12s %14s %14s\n",
-		"benchmark", "no IOTLB", "64-entry", "8-entry")
+	tlbs := []*interconnect.IOTLBConfig{
+		nil, {Entries: 64}, {Entries: 8},
+	}
+
+	// Enumerate: one run per (benchmark, TLB configuration).
+	var jobs []func() core.Result
 	for _, name := range benches {
 		b := benchByName(name)
-		runTLB := func(cfg *interconnect.IOTLBConfig) (core.Result, float64) {
-			sys := core.Build(core.Config{
-				Host: core.HostNEX, Accel: core.AccelDSim, Model: b.Model,
-				Devices: b.Devices, Cores: 16, Seed: 42, IOTLB: cfg,
+		for _, tlb := range tlbs {
+			tlb := tlb
+			jobs = append(jobs, func() core.Result {
+				sys := core.Build(core.Config{
+					Host: core.HostNEX, Accel: core.AccelDSim, Model: b.Model,
+					Devices: b.Devices, Cores: 16, Seed: 42, IOTLB: tlb,
+				})
+				return sys.Run(b.Build(&sys.Ctx))
 			})
-			r := sys.Run(b.Build(&sys.Ctx))
-			return r, 0
 		}
-		off, _ := runTLB(nil)
-		big, _ := runTLB(&interconnect.IOTLBConfig{Entries: 64})
-		small, _ := runTLB(&interconnect.IOTLBConfig{Entries: 8})
+	}
+	res := runJobs(jobs)
+
+	fmt.Fprintf(w, "%-18s %12s %14s %14s\n",
+		"benchmark", "no IOTLB", "64-entry", "8-entry")
+	for i, name := range benches {
+		off, big, small := res[3*i], res[3*i+1], res[3*i+2]
 		fmt.Fprintf(w, "%-18s %12s %11s %.2fx %11s %.2fx\n",
 			name, fmtDur(off.SimTime),
 			fmtDur(big.SimTime), float64(big.SimTime)/float64(off.SimTime),

@@ -25,47 +25,52 @@ var table3Groups = []struct {
 	{"JPEG", []string{"jpeg-decode", "jpeg-mt.2", "jpeg-mt.4", "jpeg-mt.8"}},
 }
 
+// table3Boards are the FPGA stand-ins: the reference engine with the VTA
+// clocked at the two board frequencies (the paper's 160MHz and 201MHz
+// testbeds).
+var table3Boards = []struct {
+	name string
+	clk  vclock.Hz
+}{{"FPGA-1", 160 * vclock.MHz}, {"FPGA-2", 201 * vclock.MHz}}
+
 // Table3 reports NEX+DSim's simulated-time error against (a) the
 // exact-time reference engine (our stand-in for the FPGA testbeds, run
 // at two "board" clock configurations for VTA) and (b) the gem5+RTL
 // baseline, plus the range of simulated end-to-end latency.
 func Table3(w io.Writer) error {
+	// Enumerate: per board, a (reference, NEX+DSim) pair per VTA
+	// benchmark; then per group, a (gem5+RTL, NEX+DSim) pair per
+	// benchmark.
+	var jobs []func() core.Result
+	for _, board := range table3Boards {
+		clk := board.clk
+		for _, name := range table3Groups[0].benches {
+			b := benchByName(name)
+			jobs = append(jobs,
+				func() core.Result { return runWithAccelClock(b, core.HostReference, core.AccelRTL, clk) },
+				func() core.Result { return runWithAccelClock(b, core.HostNEX, core.AccelDSim, clk) })
+		}
+	}
+	for _, g := range table3Groups {
+		for _, name := range g.benches {
+			b := benchByName(name)
+			jobs = append(jobs,
+				func() core.Result { return run(b, core.HostGem5, core.AccelRTL, runOpts{}) },
+				func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{}) })
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-10s %-9s %7s %7s %7s   %s\n",
 		"baseline", "accel", "avg", "max", "min", "E2E latency (NEX+DSim)")
 
-	// FPGA stand-ins: the reference engine with the VTA clocked at the
-	// two board frequencies (the paper's 160MHz and 201MHz testbeds).
-	for _, board := range []struct {
-		name string
-		clk  vclock.Hz
-	}{{"FPGA-1", 160 * vclock.MHz}, {"FPGA-2", 201 * vclock.MHz}} {
+	// renderGroup consumes len(benches) (baseline, got) pairs starting at
+	// res[off] and prints one summary row.
+	renderGroup := func(off int, label, accelName string, n int) int {
 		var errs []float64
 		var lo, hi vclock.Duration
-		for i, name := range table3Groups[0].benches {
-			b := benchByName(name)
-			ref := runWithAccelClock(b, core.HostReference, core.AccelRTL, board.clk)
-			got := runWithAccelClock(b, core.HostNEX, core.AccelDSim, board.clk)
-			errs = append(errs, stats.RelErr(got.SimTime, ref.SimTime))
-			if i == 0 || got.SimTime < lo {
-				lo = got.SimTime
-			}
-			if got.SimTime > hi {
-				hi = got.SimTime
-			}
-		}
-		s := stats.Summarize(errs)
-		fmt.Fprintf(w, "%-10s %-9s %6.1f%% %6.1f%% %6.1f%%   %s - %s\n",
-			board.name, "VTA", s.Avg*100, s.Max*100, s.Min*100, fmtDur(lo), fmtDur(hi))
-	}
-
-	// gem5+RTL baseline across all three accelerators.
-	for _, g := range table3Groups {
-		var errs []float64
-		var lo, hi vclock.Duration
-		for i, name := range g.benches {
-			b := benchByName(name)
-			base := run(b, core.HostGem5, core.AccelRTL, runOpts{})
-			got := run(b, core.HostNEX, core.AccelDSim, runOpts{})
+		for i := 0; i < n; i++ {
+			base, got := res[off+2*i], res[off+2*i+1]
 			errs = append(errs, stats.RelErr(got.SimTime, base.SimTime))
 			if i == 0 || got.SimTime < lo {
 				lo = got.SimTime
@@ -76,7 +81,16 @@ func Table3(w io.Writer) error {
 		}
 		s := stats.Summarize(errs)
 		fmt.Fprintf(w, "%-10s %-9s %6.1f%% %6.1f%% %6.1f%%   %s - %s\n",
-			"gem5+RTL", g.accel, s.Avg*100, s.Max*100, s.Min*100, fmtDur(lo), fmtDur(hi))
+			label, accelName, s.Avg*100, s.Max*100, s.Min*100, fmtDur(lo), fmtDur(hi))
+		return off + 2*n
+	}
+
+	off := 0
+	for _, board := range table3Boards {
+		off = renderGroup(off, board.name, "VTA", len(table3Groups[0].benches))
+	}
+	for _, g := range table3Groups {
+		off = renderGroup(off, "gem5+RTL", g.accel, len(g.benches))
 	}
 	return nil
 }
@@ -97,12 +111,21 @@ func runWithAccelClock(b workloads.Bench, host core.HostKind, acc core.AccelKind
 // compares NEX's and gem5's simulated time against true native execution
 // (the reference engine) — §6.5's error breakdown.
 func CPUOnly(w io.Writer) error {
+	benches := workloads.CPUOnlyBenches()
+	var jobs []func() core.Result
+	for _, b := range benches {
+		b := b
+		jobs = append(jobs,
+			func() core.Result { return run(b, core.HostReference, core.AccelDSim, runOpts{}) },
+			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{}) },
+			func() core.Result { return run(b, core.HostGem5, core.AccelDSim, runOpts{}) })
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-22s %12s %10s %10s\n", "benchmark", "native", "NEX err", "gem5 err")
 	var nexErrs, gemErrs []float64
-	for _, b := range workloads.CPUOnlyBenches() {
-		native := run(b, core.HostReference, core.AccelDSim, runOpts{})
-		nexR := run(b, core.HostNEX, core.AccelDSim, runOpts{})
-		gemR := run(b, core.HostGem5, core.AccelDSim, runOpts{})
+	for i, b := range benches {
+		native, nexR, gemR := res[3*i], res[3*i+1], res[3*i+2]
 		ne := stats.RelErr(nexR.SimTime, native.SimTime)
 		ge := stats.RelErr(gemR.SimTime, native.SimTime)
 		nexErrs = append(nexErrs, ne)
@@ -122,11 +145,19 @@ func CPUOnly(w io.Writer) error {
 func Tail(w io.Writer) error {
 	benches := []string{"protoacc-bench0", "protoacc-bench1", "protoacc-bench2",
 		"protoacc-bench3", "protoacc-bench4", "protoacc-bench5"}
+	var jobs []func() vclock.Duration
+	for _, name := range benches {
+		name := name
+		jobs = append(jobs,
+			func() vclock.Duration { return taskP90(name, core.HostGem5, core.AccelRTL) },
+			func() vclock.Duration { return taskP90(name, core.HostNEX, core.AccelDSim) })
+	}
+	p90s := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-18s %12s %12s %9s\n", "benchmark", "gem5+RTL p90", "NEX+DSim p90", "rel err")
 	var errs []float64
-	for _, name := range benches {
-		base := taskP90(name, core.HostGem5, core.AccelRTL)
-		got := taskP90(name, core.HostNEX, core.AccelDSim)
+	for i, name := range benches {
+		base, got := p90s[2*i], p90s[2*i+1]
 		e := stats.RelErr(got, base)
 		note := ""
 		if base < vclock.Microsecond {
@@ -173,15 +204,31 @@ func protoTaskSpans(sys *core.System) []protoacc.TaskSpan {
 // shows the spread a user should expect across hosts/calibrations.
 func SeedSweep(w io.Writer) error {
 	benches := []string{"vta-resnet18", "jpeg-decode", "protoacc-bench1"}
-	fmt.Fprintf(w, "%-18s %8s %8s %8s   per-seed errors\n", "benchmark", "avg", "max", "min")
+	const seeds = 10
+
+	var jobs []func() core.Result
 	for _, name := range benches {
 		b := benchByName(name)
-		ref := run(b, core.HostReference, core.AccelDSim, runOpts{})
+		jobs = append(jobs, func() core.Result {
+			return run(b, core.HostReference, core.AccelDSim, runOpts{})
+		})
+		for seed := uint64(1); seed <= seeds; seed++ {
+			seed := seed
+			jobs = append(jobs, func() core.Result {
+				return run(b, core.HostNEX, core.AccelDSim, runOpts{seed: seed})
+			})
+		}
+	}
+	res := runJobs(jobs)
+
+	fmt.Fprintf(w, "%-18s %8s %8s %8s   per-seed errors\n", "benchmark", "avg", "max", "min")
+	for bi, name := range benches {
+		off := bi * (seeds + 1)
+		ref := res[off]
 		var errs []float64
 		line := ""
-		for seed := uint64(1); seed <= 10; seed++ {
-			r := run(b, core.HostNEX, core.AccelDSim, runOpts{seed: seed})
-			e := stats.RelErr(r.SimTime, ref.SimTime)
+		for i := 1; i <= seeds; i++ {
+			e := stats.RelErr(res[off+i].SimTime, ref.SimTime)
 			errs = append(errs, e)
 			line += fmt.Sprintf(" %.1f%%", e*100)
 		}

@@ -3,6 +3,13 @@
 // DESIGN.md's per-experiment index). Each experiment prints a
 // human-readable table; cmd/paperbench drives them and bench_test.go
 // exposes one benchmark target per table/figure.
+//
+// Every experiment follows the same three-phase shape: it *enumerates*
+// its independent simulation jobs up front, *runs* them through the
+// sweep executor (serially by default; across workers after
+// SetParallelism), and *renders* the table from the order-preserved
+// results. Rendering never depends on execution order, so parallel runs
+// produce byte-identical tables.
 package experiments
 
 import (
@@ -14,9 +21,36 @@ import (
 	"nexsim/internal/core"
 	"nexsim/internal/interconnect"
 	"nexsim/internal/nex"
+	"nexsim/internal/sweep"
 	"nexsim/internal/vclock"
 	"nexsim/internal/workloads"
 )
+
+// parallelism is the worker count used to execute each experiment's
+// enumerated jobs. 1 (the default) reproduces the historical serial
+// harness exactly; cmd/paperbench raises it via -parallel.
+var parallelism = 1
+
+// SetParallelism sets the number of workers experiments fan their
+// simulation jobs across. n <= 1 selects serial execution. Not safe to
+// call while an experiment is running.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism reports the current worker count.
+func Parallelism() int { return parallelism }
+
+// runJobs executes every enumerated job through the sweep executor and
+// returns the results in job order. Every simulation an experiment runs
+// goes through here; each job builds its own System, so jobs share no
+// mutable state and any subset may run concurrently.
+func runJobs[T any](jobs []func() T) []T {
+	return sweep.Map(sweep.New(parallelism), jobs)
+}
 
 // Experiment is one regenerable table or figure.
 type Experiment struct {

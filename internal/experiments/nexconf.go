@@ -15,6 +15,13 @@ import (
 // npbSuite is the kernel set used for the NEX configuration studies.
 var npbSuite = []string{"ep", "cg", "mg", "ft", "is", "bt", "sp", "lu"}
 
+// npbRes is the result of one NPB job: either a native baseline (stats
+// zero) or a NEX run.
+type npbRes struct {
+	sim vclock.Duration
+	st  nex.Stats
+}
+
 // runNPB executes one NPB kernel under NEX with the given parameters and
 // returns (simulated time, wall time, stats).
 func runNPB(kernel string, threads int, ncfg nex.Config, seed uint64) (vclock.Duration, time.Duration, nex.Stats) {
@@ -46,6 +53,34 @@ func Table4(w io.Writer) error {
 	}
 	threads := []int{1, 8, 16}
 
+	// Enumerate: one native baseline per (thread count, kernel) — shared
+	// across the epoch sweep — then one NEX run per (thread, epoch,
+	// kernel) cell.
+	var jobs []func() npbRes
+	for _, t := range threads {
+		t := t
+		for _, k := range npbSuite {
+			k := k
+			jobs = append(jobs, func() npbRes { return npbRes{sim: npbNative(k, t, 16)} })
+		}
+	}
+	for _, t := range threads {
+		t := t
+		for _, e := range epochs {
+			e := e
+			for _, k := range npbSuite {
+				k := k
+				jobs = append(jobs, func() npbRes {
+					sim, _, st := runNPB(k, t, nex.Config{Epoch: e, VirtualCores: 16}, 42)
+					return npbRes{sim: sim, st: st}
+				})
+			}
+		}
+	}
+	res := runJobs(jobs)
+	nat := res[:len(threads)*len(npbSuite)]
+	sims := res[len(threads)*len(npbSuite):]
+
 	fmt.Fprintf(w, "%-10s %-8s", "metric", "threads")
 	for _, e := range epochs {
 		fmt.Fprintf(w, " %10s", fmtDur(e))
@@ -57,15 +92,15 @@ func Table4(w io.Writer) error {
 		err  float64
 	}
 	grid := make(map[int]map[vclock.Duration]cell)
-	for _, t := range threads {
+	for ti, t := range threads {
 		grid[t] = make(map[vclock.Duration]cell)
-		for _, e := range epochs {
+		for ei, e := range epochs {
 			var errs, slows []float64
-			for _, k := range npbSuite {
-				native := npbNative(k, t, 16)
-				sim, _, st := runNPB(k, t, nex.Config{Epoch: e, VirtualCores: 16}, 42)
-				errs = append(errs, stats.RelErr(sim, native))
-				slows = append(slows, modeledSlowdown(st, e, sim))
+			for ki := range npbSuite {
+				native := nat[ti*len(npbSuite)+ki].sim
+				r := sims[(ti*len(epochs)+ei)*len(npbSuite)+ki]
+				errs = append(errs, stats.RelErr(r.sim, native))
+				slows = append(slows, modeledSlowdown(r.st, e, r.sim))
 			}
 			grid[t][e] = cell{slow: stats.Summarize(slows).Avg, err: stats.Summarize(errs).Avg}
 		}
@@ -105,18 +140,40 @@ func modeledSlowdown(st nex.Stats, epoch vclock.Duration, sim vclock.Duration) f
 // cores (§6.6): fewer physical cores degrade accuracy (and, on the real
 // system, speed — we report the epoch-round count that drives it).
 func Underprovision(w io.Writer) error {
+	physList := []int{16, 4, 1}
+
+	// Enumerate: one native baseline per kernel (independent of the
+	// physical-core sweep), then one NEX run per (phys, kernel).
+	var jobs []func() npbRes
+	for _, k := range npbSuite {
+		k := k
+		jobs = append(jobs, func() npbRes { return npbRes{sim: npbNative(k, 16, 16)} })
+	}
+	for _, phys := range physList {
+		phys := phys
+		for _, k := range npbSuite {
+			k := k
+			jobs = append(jobs, func() npbRes {
+				sim, _, st := runNPB(k, 16, nex.Config{
+					Epoch: 1 * vclock.Microsecond, VirtualCores: 16, PhysicalCores: phys,
+				}, 42)
+				return npbRes{sim: sim, st: st}
+			})
+		}
+	}
+	res := runJobs(jobs)
+	nat := res[:len(npbSuite)]
+	sims := res[len(npbSuite):]
+
 	fmt.Fprintf(w, "%-10s %10s %10s %14s\n", "physcores", "avg err", "max err", "rounds/epochs")
-	for _, phys := range []int{16, 4, 1} {
+	for pi, phys := range physList {
 		var errs []float64
 		var rounds, epochs int64
-		for _, k := range npbSuite {
-			native := npbNative(k, 16, 16)
-			sim, _, st := runNPB(k, 16, nex.Config{
-				Epoch: 1 * vclock.Microsecond, VirtualCores: 16, PhysicalCores: phys,
-			}, 42)
-			errs = append(errs, stats.RelErr(sim, native))
-			rounds += st.Rounds
-			epochs += st.Epochs
+		for ki := range npbSuite {
+			r := sims[pi*len(npbSuite)+ki]
+			errs = append(errs, stats.RelErr(r.sim, nat[ki].sim))
+			rounds += r.st.Rounds
+			epochs += r.st.Epochs
 		}
 		s := stats.Summarize(errs)
 		fmt.Fprintf(w, "%-10d %9.1f%% %9.1f%% %13.1fx\n",
@@ -133,6 +190,25 @@ func CompSched(w io.Writer) error {
 	configs := []struct{ threads, cores int }{
 		{2, 1}, {4, 2}, {8, 4}, {16, 4},
 	}
+
+	// Enumerate: a (native, NEX) pair per (kernel, config) cell.
+	var jobs []func() npbRes
+	for _, k := range npbSuite {
+		k := k
+		for _, c := range configs {
+			c := c
+			jobs = append(jobs,
+				func() npbRes { return npbRes{sim: npbNative(k, c.threads, c.cores)} },
+				func() npbRes {
+					sim, _, st := runNPB(k, c.threads, nex.Config{
+						Epoch: 1 * vclock.Microsecond, VirtualCores: c.cores,
+					}, 42)
+					return npbRes{sim: sim, st: st}
+				})
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-8s", "kernel")
 	for _, c := range configs {
 		fmt.Fprintf(w, " %10s", fmt.Sprintf("%dT/%dC", c.threads, c.cores))
@@ -140,14 +216,11 @@ func CompSched(w io.Writer) error {
 	fmt.Fprintln(w)
 
 	var others, spLu []float64
-	for _, k := range npbSuite {
+	for ki, k := range npbSuite {
 		fmt.Fprintf(w, "%-8s", k)
-		for _, c := range configs {
-			native := npbNative(k, c.threads, c.cores)
-			sim, _, _ := runNPB(k, c.threads, nex.Config{
-				Epoch: 1 * vclock.Microsecond, VirtualCores: c.cores,
-			}, 42)
-			e := stats.RelErr(sim, native)
+		for ci := range configs {
+			off := (ki*len(configs) + ci) * 2
+			e := stats.RelErr(res[off+1].sim, res[off].sim)
 			if k == "sp" || k == "lu" {
 				spLu = append(spLu, e)
 			} else {
@@ -181,15 +254,28 @@ func Hybrid(w io.Writer) error {
 		{nex.Hybrid, 1 * vclock.Microsecond},
 	}
 	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
+
+	// Enumerate: one run per (benchmark, variant).
+	var jobs []func() core.Result
+	for _, name := range benches {
+		b := benchByName(name)
+		for _, v := range variants {
+			v := v
+			jobs = append(jobs, func() core.Result {
+				return run(b, core.HostNEX, core.AccelDSim, runOpts{
+					nexMode: v.mode, nexSyncInt: v.intv})
+			})
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-16s %12s %16s %16s\n",
 		"benchmark", "lazy slowdown", "hybrid 10us", "hybrid 1us")
 	var r10, r1 []float64
-	for _, name := range benches {
+	for bi, name := range benches {
 		slows := make([]float64, len(variants))
-		for vi, v := range variants {
-			b := benchByName(name)
-			r := run(b, core.HostNEX, core.AccelDSim, runOpts{
-				nexMode: v.mode, nexSyncInt: v.intv})
+		for vi := range variants {
+			r := res[bi*len(variants)+vi]
 			slows[vi] = modeledSlowdownSync(r.NEXStats, 1*vclock.Microsecond, r.SimTime)
 		}
 		f10 := slows[1] / slows[0]

@@ -52,13 +52,22 @@ func runWall(b workloads.Bench, host core.HostKind, acc core.AccelKind, o runOpt
 // our substrate compresses the range — see EXPERIMENTS.md — but the
 // ordering and compute-vs-DMA shape hold).
 func Fig3(w io.Writer) error {
+	// Enumerate: two jobs per benchmark, baseline and NEX+DSim.
+	var jobs []func() core.Result
+	for _, name := range speedBenches {
+		b := benchByName(name)
+		jobs = append(jobs,
+			func() core.Result { return runWall(b, core.HostGem5, core.AccelRTL, runOpts{}) },
+			func() core.Result { return runWall(b, core.HostNEX, core.AccelDSim, runOpts{}) })
+	}
+	res := runJobs(jobs)
+
+	// Render in enumeration order.
 	fmt.Fprintf(w, "%-20s %12s %14s %14s %9s\n",
 		"benchmark", "simulated", "gem5+RTL wall", "NEX+DSim wall", "speedup")
 	var speedups []float64
-	for _, name := range speedBenches {
-		b := benchByName(name)
-		slow := runWall(b, core.HostGem5, core.AccelRTL, runOpts{})
-		fast := runWall(b, core.HostNEX, core.AccelDSim, runOpts{})
+	for i, name := range speedBenches {
+		slow, fast := res[2*i], res[2*i+1]
 		sp := float64(slow.WallTime) / float64(fast.WallTime)
 		speedups = append(speedups, sp)
 		fmt.Fprintf(w, "%-20s %12s %14s %14s %8.1fx\n",
@@ -79,16 +88,25 @@ var fig4Benches = []string{
 
 // Fig4 breaks the speedup down across the four simulator combinations.
 func Fig4(w io.Writer) error {
+	var jobs []func() core.Result
+	for _, name := range fig4Benches {
+		b := benchByName(name)
+		for _, c := range combos {
+			c := c
+			jobs = append(jobs, func() core.Result { return runWall(b, c.host, c.acc, runOpts{}) })
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-18s", "benchmark")
 	for _, c := range combos {
 		fmt.Fprintf(w, " %14s", c.name)
 	}
 	fmt.Fprintf(w, " | speedups vs gem5+RTL\n")
-	for _, name := range fig4Benches {
-		b := benchByName(name)
+	for bi, name := range fig4Benches {
 		walls := make([]time.Duration, len(combos))
-		for i, c := range combos {
-			walls[i] = runWall(b, c.host, c.acc, runOpts{}).WallTime
+		for ci := range combos {
+			walls[ci] = res[bi*len(combos)+ci].WallTime
 		}
 		fmt.Fprintf(w, "%-18s", name)
 		for _, wl := range walls {
@@ -106,17 +124,26 @@ func Fig4(w io.Writer) error {
 // Fig5 reports each combination's simulated-time error relative to the
 // gem5+RTL baseline.
 func Fig5(w io.Writer) error {
+	var jobs []func() core.Result
+	for _, name := range fig4Benches {
+		b := benchByName(name)
+		for _, c := range combos {
+			c := c
+			jobs = append(jobs, func() core.Result { return run(b, c.host, c.acc, runOpts{}) })
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-18s", "benchmark")
 	for _, c := range combos[1:] {
 		fmt.Fprintf(w, " %12s", c.name)
 	}
 	fmt.Fprintln(w)
-	for _, name := range fig4Benches {
-		b := benchByName(name)
-		base := run(b, core.HostGem5, core.AccelRTL, runOpts{})
+	for bi, name := range fig4Benches {
+		base := res[bi*len(combos)] // combos[0] is the gem5+RTL baseline
 		fmt.Fprintf(w, "%-18s", name)
-		for _, c := range combos[1:] {
-			r := run(b, c.host, c.acc, runOpts{})
+		for ci := 1; ci < len(combos); ci++ {
+			r := res[bi*len(combos)+ci]
 			fmt.Fprintf(w, " %11.1f%%", 100*stats.RelErr(r.SimTime, base.SimTime))
 		}
 		fmt.Fprintln(w)
@@ -134,14 +161,23 @@ var table1Benches = []string{"jpeg-decode", "vta-resnet18", "vta-matmul"}
 // is a discrete-event substrate), but the column ordering — each mode
 // strictly faster than the one to its left — is the claim.
 func Table1(w io.Writer) error {
+	var jobs []func() core.Result
+	for _, c := range combos {
+		c := c
+		for _, name := range table1Benches {
+			b := benchByName(name)
+			jobs = append(jobs, func() core.Result { return runWall(b, c.host, c.acc, runOpts{}) })
+		}
+	}
+	res := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-12s", "combo")
 	fmt.Fprintf(w, " %22s %22s\n", "slowdown range", "wall-time range")
-	for _, c := range combos {
+	for ci, c := range combos {
 		minS, maxS := 1e18, 0.0
 		var minW, maxW time.Duration
-		for i, name := range table1Benches {
-			b := benchByName(name)
-			r := runWall(b, c.host, c.acc, runOpts{})
+		for i := range table1Benches {
+			r := res[ci*len(table1Benches)+i]
 			s := r.Slowdown()
 			if s < minS {
 				minS = s
@@ -172,27 +208,42 @@ func Table1(w io.Writer) error {
 func TightVsChan(w io.Writer) error {
 	const perMsg = 600 * time.Nanosecond
 	benches := []string{"vta-resnet18", "vta-matmul", "vta-yolov3-tiny", "jpeg-decode"}
+
+	type row struct {
+		tight    core.Result
+		chanWall time.Duration
+		msgs     int64
+	}
+	var jobs []func() row
+	for _, name := range benches {
+		b := benchByName(name)
+		jobs = append(jobs, func() row {
+			tight := runWall(b, core.HostNEX, core.AccelDSim, runOpts{})
+			// Channel run, capturing message counts.
+			cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+				Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42, UseChannel: true}
+			sys := core.Build(cfg)
+			start := time.Now()
+			sys.Run(b.Build(&sys.Ctx))
+			chanWall := time.Since(start)
+			var msgs int64
+			for _, ch := range sys.Channels {
+				msgs += ch.Msgs
+			}
+			return row{tight: tight, chanWall: chanWall, msgs: msgs}
+		})
+	}
+	rows := runJobs(jobs)
+
 	fmt.Fprintf(w, "%-18s %12s %12s %10s %8s\n",
 		"benchmark", "tight wall", "chan wall", "messages", "modeled")
 	var ratios []float64
-	for _, name := range benches {
-		b := benchByName(name)
-		tight := runWall(b, core.HostNEX, core.AccelDSim, runOpts{})
-		// Channel run, capturing message counts.
-		cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
-			Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42, UseChannel: true}
-		sys := core.Build(cfg)
-		start := time.Now()
-		sys.Run(b.Build(&sys.Ctx))
-		chanWall := time.Since(start)
-		var msgs int64
-		for _, ch := range sys.Channels {
-			msgs += ch.Msgs
-		}
-		ratio := float64(tight.WallTime+time.Duration(msgs)*perMsg) / float64(tight.WallTime)
+	for i, name := range benches {
+		r := rows[i]
+		ratio := float64(r.tight.WallTime+time.Duration(r.msgs)*perMsg) / float64(r.tight.WallTime)
 		ratios = append(ratios, ratio)
 		fmt.Fprintf(w, "%-18s %12s %12s %10d %7.2fx\n",
-			name, fmtWall(tight.WallTime), fmtWall(chanWall), msgs, ratio)
+			name, fmtWall(r.tight.WallTime), fmtWall(r.chanWall), r.msgs, ratio)
 	}
 	fmt.Fprintf(w, "channel overhead (modeled from message counts): avg %.2fx, max %.2fx\n",
 		stats.Summarize(ratios).Avg, stats.Summarize(ratios).Max)

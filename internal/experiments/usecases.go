@@ -27,15 +27,18 @@ func WhatIf(w io.Writer) error {
 		return sys.Run(prog)
 	}
 
-	baseline := runJpeg(base)
-
 	comp := base
 	comp.Compress = 10
-	compressed := runJpeg(comp)
-
 	probe := base
 	probe.ProbeRealistic = true
-	probed := runJpeg(probe)
+
+	// Enumerate: baseline, CompressT, JumpT-probed.
+	res := runJobs([]func() core.Result{
+		func() core.Result { return runJpeg(base) },
+		func() core.Result { return runJpeg(comp) },
+		func() core.Result { return runJpeg(probe) },
+	})
+	baseline, compressed, probed := res[0], res[1], res[2]
 
 	fmt.Fprintf(w, "baseline (8 JPEG decoders, heavy matrix_filter_2d): %s\n", fmtDur(baseline.SimTime))
 	fmt.Fprintf(w, "CompressT 10x on matrix_filter_2d:                  %s (%.2fx overall)\n",
@@ -69,10 +72,7 @@ func VTASweep(w io.Writer) error {
 		return sys.Run(workloads.CPUInferenceProgram(vcfg, &sys.Ctx))
 	}
 
-	cpu := runCPU()
-	fmt.Fprintf(w, "%-34s %12s\n", "configuration", "inference")
-	fmt.Fprintf(w, "%-34s %12s\n", "CPU only (no accelerator)", fmtDur(cpu.SimTime))
-	for _, c := range []struct {
+	points := []struct {
 		name string
 		lat  vclock.Duration
 		dma  core.DMALevel
@@ -81,12 +81,27 @@ func VTASweep(w io.Writer) error {
 		{"VTA @ PCIe 100ns, DMA from LLC", 100 * vclock.Nanosecond, core.DMALLC},
 		{"VTA on-chip 4ns,  DMA from LLC", 4 * vclock.Nanosecond, core.DMALLC},
 		{"VTA on-chip 4ns,  DMA from L2", 4 * vclock.Nanosecond, core.DMAL2},
-	} {
-		fab := interconnect.PCIe400.WithLatency(c.lat)
-		if c.lat <= 4*vclock.Nanosecond {
-			fab = interconnect.OnChip4
-		}
-		r := runVTA(&fab, c.dma)
+	}
+
+	// Enumerate: the CPU-only baseline plus one run per design point.
+	jobs := []func() core.Result{runCPU}
+	for _, c := range points {
+		c := c
+		jobs = append(jobs, func() core.Result {
+			fab := interconnect.PCIe400.WithLatency(c.lat)
+			if c.lat <= 4*vclock.Nanosecond {
+				fab = interconnect.OnChip4
+			}
+			return runVTA(&fab, c.dma)
+		})
+	}
+	res := runJobs(jobs)
+
+	cpu := res[0]
+	fmt.Fprintf(w, "%-34s %12s\n", "configuration", "inference")
+	fmt.Fprintf(w, "%-34s %12s\n", "CPU only (no accelerator)", fmtDur(cpu.SimTime))
+	for ci, c := range points {
+		r := res[1+ci]
 		verdict := "faster than CPU"
 		if r.SimTime > cpu.SimTime {
 			verdict = "SLOWER than CPU"
@@ -101,21 +116,33 @@ func VTASweep(w io.Writer) error {
 func ProtoSweep(w io.Writer) error {
 	pbName := "protoacc-bench0"
 	b := benchByName(pbName)
-
-	// CPU-only serialization baseline.
-	sysCPU := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
-	pb, _ := workloads.ProtoBenchByName(pbName)
-	cpu := sysCPU.Run(workloads.CPUSerializeProgram(pb, &sysCPU.Ctx))
-
-	fmt.Fprintf(w, "%-30s %12s\n", "configuration", "batch e2e")
-	fmt.Fprintf(w, "%-30s %12s\n", "CPU only (Marshal on Xeon)", fmtDur(cpu.SimTime))
-	for _, lat := range []vclock.Duration{
+	lats := []vclock.Duration{
 		2 * vclock.Nanosecond, 4 * vclock.Nanosecond, 16 * vclock.Nanosecond,
 		64 * vclock.Nanosecond, 128 * vclock.Nanosecond, 256 * vclock.Nanosecond,
 		400 * vclock.Nanosecond,
-	} {
-		fab := interconnect.OnChip4.WithLatency(lat)
-		r := run(b, core.HostNEX, core.AccelDSim, runOpts{fabric: &fab})
+	}
+
+	// Enumerate: the CPU-only serialization baseline plus one run per
+	// memory latency.
+	jobs := []func() core.Result{func() core.Result {
+		sysCPU := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
+		pb, _ := workloads.ProtoBenchByName(pbName)
+		return sysCPU.Run(workloads.CPUSerializeProgram(pb, &sysCPU.Ctx))
+	}}
+	for _, lat := range lats {
+		lat := lat
+		jobs = append(jobs, func() core.Result {
+			fab := interconnect.OnChip4.WithLatency(lat)
+			return run(b, core.HostNEX, core.AccelDSim, runOpts{fabric: &fab})
+		})
+	}
+	res := runJobs(jobs)
+
+	cpu := res[0]
+	fmt.Fprintf(w, "%-30s %12s\n", "configuration", "batch e2e")
+	fmt.Fprintf(w, "%-30s %12s\n", "CPU only (Marshal on Xeon)", fmtDur(cpu.SimTime))
+	for li, lat := range lats {
+		r := res[1+li]
 		verdict := "wins"
 		if r.SimTime >= cpu.SimTime {
 			verdict = "loses"

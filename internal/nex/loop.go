@@ -14,30 +14,24 @@ func (e *Engine) loop() {
 	nextSync := vclock.Time(e.cfg.SyncInterval)
 	for e.live > 0 {
 		minWake := e.minWake()
-		devNext, okD := e.minDeviceNext()
 
 		if minWake == vclock.Never {
 			// Everyone is parked; progress can only come from an
-			// undelivered interrupt or future device activity.
+			// undelivered interrupt or future device activity. (Device
+			// activity before a thread wake needs no handling in the
+			// normal path: hybrid/eager deliver it via the periodic
+			// synchronization below, and lazy defers it by definition.)
 			if len(e.pending) > 0 {
 				e.deliverIRQs(e.roundUp(e.now))
 				continue
 			}
+			devNext, okD := e.minDeviceNext()
 			if !okD {
 				panic("nex: deadlock — live threads, no wakes, idle devices")
 			}
 			e.advanceDevices(devNext)
 			e.deliverIRQs(e.roundUp(devNext))
 			continue
-		}
-
-		// Interrupt-bearing device activity strictly before the next
-		// thread wake must be processed first so delivery is not
-		// arbitrarily late.
-		if okD && devNext < minWake && (e.cfg.Mode == Hybrid || e.cfg.Mode == Eager) {
-			// Under hybrid/eager the periodic machinery below handles
-			// this; fall through.
-			_ = devNext
 		}
 
 		start := e.now
@@ -98,10 +92,10 @@ func (e *Engine) loop() {
 				}
 			}
 			if newEnd < end {
-				for _, th := range e.threads {
+				for _, th := range e.active {
 					s := st(th)
 					if !s.exited && !s.parked && s.wakeAt == end {
-						s.wakeAt = newEnd
+						e.setWake(s, newEnd)
 					}
 				}
 				end = newEnd
@@ -140,31 +134,40 @@ func (e *Engine) loop() {
 	}
 }
 
-// minWake returns the earliest wake time among live threads.
+// minWake returns the earliest wake time among live threads. The value
+// is cached across epochs (setWake maintains it), so the scan over the
+// active list only happens after the minimum-holding thread moved later.
 func (e *Engine) minWake() vclock.Time {
-	min := vclock.Never
-	for _, th := range e.threads {
-		s := st(th)
-		if s.exited || s.parked {
-			continue
+	if !e.wakeValid {
+		min := vclock.Never
+		for _, th := range e.active {
+			s := st(th)
+			if s.exited || s.parked {
+				continue
+			}
+			if s.wakeAt < min {
+				min = s.wakeAt
+			}
 		}
-		if s.wakeAt < min {
-			min = s.wakeAt
-		}
+		e.wakeMin = min
+		e.wakeValid = true
 	}
-	return min
+	return e.wakeMin
 }
 
 // runnableAt lists threads eligible to run in the epoch starting at t,
-// in thread-creation order (deterministic).
+// in thread-creation order (deterministic). It scans only the active
+// list (parked/exited threads are skipped wholesale) and reuses a
+// scratch slice; callers must not retain the result past the next call.
 func (e *Engine) runnableAt(t vclock.Time) []*coro.Thread {
-	var out []*coro.Thread
-	for _, th := range e.threads {
+	out := e.runnableBuf[:0]
+	for _, th := range e.active {
 		s := st(th)
 		if !s.exited && !s.parked && s.wakeAt <= t {
 			out = append(out, th)
 		}
 	}
+	e.runnableBuf = out
 	return out
 }
 
@@ -185,7 +188,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 			if s.deficit > 0 {
 				// Epoch exhausted mid-segment; continue next epoch.
 				e.traceSpan(th.Name, trace.Compute, segStart, cursor)
-				s.wakeAt = end
+				e.setWake(s, end)
 				s.cursor = cursor
 				return
 			}
@@ -197,7 +200,8 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 		switch r.Op {
 		case coro.OpExit:
 			s.exited = true
-			s.wakeAt = vclock.Never
+			e.setWake(s, vclock.Never)
+			e.markInactive()
 			e.live--
 			if cursor > e.finishT {
 				e.finishT = cursor
@@ -227,7 +231,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 			if c := cursor.Add(cost); c > wake {
 				wake = c
 			}
-			s.wakeAt = wake
+			e.setWake(s, wake)
 			return
 
 		case coro.OpPark:
@@ -236,7 +240,8 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				continue
 			}
 			s.parked = true
-			s.wakeAt = vclock.Never
+			e.setWake(s, vclock.Never)
+			e.markInactive()
 			e.traceSpan(th.Name, trace.Compute, segStart, cursor)
 			return
 
@@ -244,13 +249,14 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 			t2 := st(r.Target)
 			if t2.parked {
 				t2.parked = false
-				t2.wakeAt = end // runnable from the next epoch: EBS skew
+				e.setWake(t2, end) // runnable from the next epoch: EBS skew
+				e.ensureActive(t2)
 			} else {
 				t2.pending = true
 			}
 
 		case coro.OpSleep:
-			s.wakeAt = cursor.Add(r.Dur)
+			e.setWake(s, cursor.Add(r.Dur))
 			e.traceSpan(th.Name, trace.Blocked, cursor, s.wakeAt)
 			return
 
@@ -260,12 +266,13 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				panic("nex: spawn body is not an app.ThreadFunc")
 			}
 			nt := e.newThread(r.Name, body)
-			st(nt).wakeAt = end
+			e.setWake(st(nt), end)
 			th.Spawned = nt
 
 		case coro.OpWaitIRQ:
 			s.parked = true
-			s.wakeAt = vclock.Never
+			e.setWake(s, vclock.Never)
+			e.markInactive()
 			e.irqWait[r.Vector] = append(e.irqWait[r.Vector], th)
 			return
 
@@ -276,7 +283,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				// Exiting SlipStream resets the epoch duration and forces
 				// an immediate reschedule (§3.4): end this thread's slot
 				// and truncate the (large) epoch at its cursor.
-				s.wakeAt = cursor
+				e.setWake(s, cursor)
 				s.cursor = cursor
 				e.truncate = true
 				return
@@ -285,13 +292,13 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 		case coro.OpTick:
 			e.Stats.Traps++
 			e.advanceDevices(cursor)
-			s.wakeAt = end
+			e.setWake(s, end)
 			return
 		}
 	}
 	// Used the whole epoch (e.g. finished a segment exactly at the
 	// boundary): continue next epoch.
-	s.wakeAt = end
+	e.setWake(s, end)
 	s.cursor = end
 }
 
@@ -392,7 +399,8 @@ func (e *Engine) deliverIRQs(boundary vclock.Time) {
 		if p.at > wake {
 			wake = p.at
 		}
-		s.wakeAt = wake
+		e.setWake(s, wake)
+		e.ensureActive(s)
 		e.Stats.IRQs++
 	}
 	e.pending = remaining

@@ -29,6 +29,7 @@ package nex
 
 import (
 	"fmt"
+	"sort"
 
 	"nexsim/internal/accel"
 	"nexsim/internal/app"
@@ -186,6 +187,23 @@ type Engine struct {
 	irqWait map[int][]*coro.Thread
 	pending []pendingIRQ
 
+	// Scheduler hot-path state: the loop would otherwise rescan every
+	// thread ever created, twice per epoch (minWake + runnableAt).
+	//
+	// active holds the threads that may be runnable (neither exited nor
+	// parked), in creation order. Entries go stale in place when a thread
+	// parks or exits and are swept out once they outnumber the live ones
+	// (amortized O(1)); unparking re-inserts compacted-out threads by ID.
+	active    []*coro.Thread
+	inactiveN int // stale entries currently in active
+	// wakeMin caches minWake; it is invalidated only when the thread
+	// holding the minimum moves its wake time up.
+	wakeMin   vclock.Time
+	wakeValid bool
+	// runnableBuf is runnableAt's reusable scratch slice; its contents
+	// are only live until the next epoch's scan.
+	runnableBuf []*coro.Thread
+
 	now      vclock.Time // current epoch start
 	truncate bool        // a SlipStream exit requested epoch truncation
 	finishT  vclock.Time // virtual time of the last thread activity
@@ -215,6 +233,7 @@ type tstate struct {
 	slip     bool
 	seedCtr  uint64
 	exited   bool
+	inActive bool        // present in Engine.active (possibly stale)
 	cursor   vclock.Time // thread-local virtual time (for Env.Now)
 }
 
@@ -317,7 +336,7 @@ type Result struct {
 // Run executes the program to completion.
 func (e *Engine) Run(prog app.Program) Result {
 	main := e.newThread("main", prog.Main)
-	st(main).wakeAt = 0
+	e.setWake(st(main), 0)
 	e.loop()
 	return Result{SimTime: vclock.Duration(e.lastActivity()), Threads: e.nextTID, Stats: e.Stats}
 }
@@ -338,10 +357,76 @@ func (e *Engine) newThread(name string, fn app.ThreadFunc) *coro.Thread {
 	th = coro.NewThread(id, fmt.Sprintf("%s#%d", name, id), func() {
 		fn(&env{e: e, th: th})
 	})
-	th.Data = &tstate{th: th, wakeAt: vclock.Never}
+	th.Data = &tstate{th: th, wakeAt: vclock.Never, inActive: true}
 	e.threads = append(e.threads, th)
+	// New threads have the highest ID so far, so appending keeps the
+	// active list in creation order.
+	e.active = append(e.active, th)
 	e.live++
 	return th
+}
+
+// setWake is the single mutation point for a thread's wake time; it
+// maintains the cached minimum so minWake rarely rescans.
+func (e *Engine) setWake(s *tstate, t vclock.Time) {
+	old := s.wakeAt
+	if t == old {
+		return
+	}
+	s.wakeAt = t
+	if !e.wakeValid {
+		return
+	}
+	if t < e.wakeMin {
+		e.wakeMin = t
+		return
+	}
+	if old == e.wakeMin {
+		// The thread holding the minimum moved later; the new minimum is
+		// unknown until the next minWake.
+		e.wakeValid = false
+	}
+}
+
+// markInactive records that a thread on the active list parked or
+// exited; the entry is swept lazily by maybeCompact.
+func (e *Engine) markInactive() {
+	e.inactiveN++
+	e.maybeCompact()
+}
+
+// ensureActive puts an unparked thread back on the active list (or just
+// rebalances the stale count if its entry was never swept).
+func (e *Engine) ensureActive(s *tstate) {
+	if s.inActive {
+		if e.inactiveN > 0 {
+			e.inactiveN--
+		}
+		return
+	}
+	i := sort.Search(len(e.active), func(j int) bool { return e.active[j].ID > s.th.ID })
+	e.active = append(e.active, nil)
+	copy(e.active[i+1:], e.active[i:])
+	e.active[i] = s.th
+	s.inActive = true
+}
+
+// maybeCompact sweeps stale entries once they outnumber live ones.
+func (e *Engine) maybeCompact() {
+	if e.inactiveN < 32 || e.inactiveN*2 < len(e.active) {
+		return
+	}
+	kept := e.active[:0]
+	for _, th := range e.active {
+		s := st(th)
+		if s.exited || s.parked {
+			s.inActive = false
+			continue
+		}
+		kept = append(kept, th)
+	}
+	e.active = kept
+	e.inactiveN = 0
 }
 
 // epochEnd returns the end of the epoch starting at e.now, honoring

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"testing"
+
+	"nexsim/internal/vclock"
+)
+
+// BenchmarkAdd measures the per-span recording cost on a long run —
+// chunked storage appends into fixed-size blocks instead of repeatedly
+// reallocating one giant slice.
+func BenchmarkAdd(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(Span{
+			Component: "thread",
+			Kind:      Compute,
+			Start:     vclock.Time(i),
+			End:       vclock.Time(i + 1),
+		})
+	}
+}
+
+// BenchmarkTotals measures aggregation over a large recorded trace.
+func BenchmarkTotals(b *testing.B) {
+	r := New()
+	for i := 0; i < 100_000; i++ {
+		r.Add(Span{Component: "t", Kind: Kind(i % 3), Start: vclock.Time(i), End: vclock.Time(i + 1)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Totals()) == 0 {
+			b.Fatal("empty totals")
+		}
+	}
+}

@@ -52,10 +52,18 @@ type Span struct {
 	Label     string // optional detail (e.g. task id)
 }
 
-// Recorder accumulates spans. A nil *Recorder is valid and records
-// nothing, so tracing can be disabled without branching at call sites.
+// chunkSize is the span capacity of one storage chunk. Chunked storage
+// makes Add amortized allocation-free after warmup: growth appends a new
+// fixed-size chunk instead of reallocating and copying the whole span
+// backlog, which dominated tracing cost on long runs.
+const chunkSize = 1024
+
+// Recorder accumulates spans in fixed-size chunks. A nil *Recorder is
+// valid and records nothing, so tracing can be disabled without
+// branching at call sites.
 type Recorder struct {
-	spans []Span
+	chunks [][]Span
+	n      int
 }
 
 // New returns an empty recorder.
@@ -66,7 +74,20 @@ func (r *Recorder) Add(s Span) {
 	if r == nil || s.End <= s.Start {
 		return
 	}
-	r.spans = append(r.spans, s)
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == chunkSize {
+		r.chunks = append(r.chunks, make([]Span, 0, chunkSize))
+	}
+	last := len(r.chunks) - 1
+	r.chunks[last] = append(r.chunks[last], s)
+	r.n++
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
 }
 
 // Spans returns all recorded spans ordered by start time.
@@ -74,8 +95,10 @@ func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	out := make([]Span, len(r.spans))
-	copy(out, r.spans)
+	out := make([]Span, 0, r.n)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
@@ -86,13 +109,15 @@ func (r *Recorder) Totals() map[string]map[Kind]vclock.Duration {
 	if r == nil {
 		return totals
 	}
-	for _, s := range r.spans {
-		m := totals[s.Component]
-		if m == nil {
-			m = make(map[Kind]vclock.Duration)
-			totals[s.Component] = m
+	for _, c := range r.chunks {
+		for _, s := range c {
+			m := totals[s.Component]
+			if m == nil {
+				m = make(map[Kind]vclock.Duration)
+				totals[s.Component] = m
+			}
+			m[s.Kind] += s.End.Sub(s.Start)
 		}
-		m[s.Kind] += s.End.Sub(s.Start)
 	}
 	return totals
 }

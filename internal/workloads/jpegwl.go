@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"nexsim/internal/accel/jpeg"
 	"nexsim/internal/app"
@@ -143,7 +144,12 @@ func JPEGProgram(cfg JPEGConfig, ctx *core.Ctx) app.Program {
 // corpusCache memoizes the synthesized + encoded corpora per config:
 // corpus generation is deterministic per seed and re-staged by every
 // engine run of the same benchmark (DESIGN.md §1's substrate-cost note).
-var corpusCache = map[JPEGConfig][]corpusEntry{}
+// The mutex makes it safe under the parallel sweep executor; entries are
+// immutable once stored.
+var corpusCache = struct {
+	sync.Mutex
+	m map[JPEGConfig][]corpusEntry
+}{m: map[JPEGConfig][]corpusEntry{}}
 
 type corpusEntry struct {
 	data []byte
@@ -155,7 +161,9 @@ type corpusEntry struct {
 func stageJPEGCorpus(e app.Env, cfg JPEGConfig, ctx *core.Ctx) []jpegImage {
 	key := cfg
 	key.Compress, key.ProbeRealistic, key.UseIRQ = 0, false, false
-	entries, ok := corpusCache[key]
+	corpusCache.Lock()
+	entries, ok := corpusCache.m[key]
+	corpusCache.Unlock()
 	if !ok {
 		rng := xrand.New(cfg.Seed | 1)
 		for i := 0; i < cfg.Images; i++ {
@@ -174,7 +182,9 @@ func stageJPEGCorpus(e app.Env, cfg JPEGConfig, ctx *core.Ctx) []jpegImage {
 			data := jpeg.EncodeRestart(img, 75+rng.Intn(18), sub, restart)
 			entries = append(entries, corpusEntry{data: data, w: w, h: h})
 		}
-		corpusCache[key] = entries
+		corpusCache.Lock()
+		corpusCache.m[key] = entries
+		corpusCache.Unlock()
 	}
 
 	next := ctx.Arena
