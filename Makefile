@@ -1,7 +1,14 @@
 check:
 	sh check.sh
 
+# Micro-benchmark suite (LPN engine incremental-vs-reference, simbricks
+# channel) at a stable sampling time, a smoke pass over every other
+# registered benchmark, then the full paper experiment run with a JSON
+# report. BENCH_pr3.json is committed as the perf baseline for the
+# incremental enabled-set engine.
 bench:
-	go test -bench . -benchtime 1x ./...
+	go test -run xxx -bench . -benchtime 100ms ./internal/lpn/ ./internal/simbricks/
+	go test -run xxx -bench . -benchtime 1x ./...
+	go run ./cmd/paperbench -exp all -json BENCH_pr3.json
 
 .PHONY: check bench

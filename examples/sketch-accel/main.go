@@ -43,8 +43,10 @@ type filterDevice struct {
 	dsim.Base
 	completed uint32
 
-	taskQ    *lpn.Place
-	rowPlans []rowPlan
+	taskQ      *lpn.Place
+	rowPlans   []rowPlan
+	planHead   int
+	tokScratch []lpn.Token // reused by dispatch; consumed synchronously
 }
 
 type rowPlan struct {
@@ -77,16 +79,20 @@ func newFilterDevice(clk vclock.Hz, lanes int64) *filterDevice {
 	// Dispatch one token per image row (attrs: [rowBytes, lastRow]).
 	b.Stage("dispatch", descResp, rowQ, b.Cycles(2),
 		lpnlang.OutTokens(func(f *lpn.Firing, done vclock.Time) []lpn.Token {
-			plan := d.rowPlans[0]
-			d.rowPlans = d.rowPlans[1:]
-			out := make([]lpn.Token, plan.rows)
-			for i := range out {
+			plan := d.rowPlans[d.planHead]
+			d.planHead++
+			if d.planHead == len(d.rowPlans) {
+				d.rowPlans, d.planHead = d.rowPlans[:0], 0
+			}
+			out := d.tokScratch[:0]
+			for i := 0; i < plan.rows; i++ {
 				last := int64(0)
 				if i == plan.rows-1 {
 					last = 1
 				}
-				out[i] = lpn.Tok(done, plan.rowBytes, last)
+				out = append(out, lpn.Tok(done, plan.rowBytes, last))
 			}
+			d.tokScratch = out
 			return out
 		}))
 

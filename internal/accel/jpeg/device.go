@@ -83,9 +83,17 @@ type Device struct {
 	taskQ    *lpn.Place
 	descResp *lpn.Place
 
-	// FIFO of planned tasks, consumed by the dispatch stage.
-	planned  [][]rowInfo
-	rowsLeft []int // rows remaining per in-flight task, FIFO
+	// FIFO of planned tasks, consumed by the dispatch stage. Head
+	// cursors (not slice re-slicing) keep the backing arrays reusable
+	// across tasks.
+	planned     [][]rowInfo
+	plannedHead int
+	rowsLeft    []int // rows remaining per in-flight task, FIFO
+	rowsHead    int
+
+	// tokScratch is reused by the dispatch stage's OutFunc; the engine
+	// consumes the returned slice synchronously.
+	tokScratch []lpn.Token
 
 	// DecodeErrors counts tasks whose bitstream failed to decode.
 	DecodeErrors int64
@@ -114,12 +122,17 @@ func NewDevice(clk vclock.Hz) *Device {
 	// Dispatch: expand the task into per-row tokens.
 	b.Stage("dispatch", d.descResp, rowQ, b.Cycles(4),
 		lpnlang.OutTokens(func(f *lpn.Firing, done vclock.Time) []lpn.Token {
-			rows := d.planned[0]
-			d.planned = d.planned[1:]
-			out := make([]lpn.Token, len(rows))
-			for i, r := range rows {
-				out[i] = lpn.Tok(done, r.bits, r.blocks, r.outBytes, r.inBytes)
+			rows := d.planned[d.plannedHead]
+			d.planned[d.plannedHead] = nil
+			d.plannedHead++
+			if d.plannedHead == len(d.planned) {
+				d.planned, d.plannedHead = d.planned[:0], 0
 			}
+			out := d.tokScratch[:0]
+			for _, r := range rows {
+				out = append(out, lpn.Tok(done, r.bits, r.blocks, r.outBytes, r.inBytes))
+			}
+			d.tokScratch = out
 			return out
 		}))
 
@@ -158,11 +171,14 @@ func NewDevice(clk vclock.Hz) *Device {
 func (d *Device) SetHost(h accel.Host) { d.Host = h }
 
 func (d *Device) rowDone(at vclock.Time) {
-	d.rowsLeft[0]--
-	if d.rowsLeft[0] > 0 {
+	d.rowsLeft[d.rowsHead]--
+	if d.rowsLeft[d.rowsHead] > 0 {
 		return
 	}
-	d.rowsLeft = d.rowsLeft[1:]
+	d.rowsHead++
+	if d.rowsHead == len(d.rowsLeft) {
+		d.rowsLeft, d.rowsHead = d.rowsLeft[:0], 0
+	}
 	d.completed++
 	d.inFlight--
 	d.TaskCompleted(at)

@@ -333,6 +333,11 @@ func (d *Device) RegWrite(at vclock.Time, off mem.Addr, v uint32) {
 // serialize) and plans the performance track's addressed DMA chain.
 func (d *Device) startTask(at vclock.Time, descAddr mem.Addr) {
 	d.TaskStarted(at)
+	if d.inFlight == 0 {
+		// No in-flight tokens reference the fetch table when the device
+		// is idle; truncate in place so it does not grow across tasks.
+		d.nodeTab = d.nodeTab[:0]
+	}
 	d.inFlight++
 	task := d.nextTask
 	d.nextTask++

@@ -32,6 +32,14 @@ type DMARec struct {
 	Data []byte // write payload (delivered at emission time)
 }
 
+// dmaQueue is one tag's FIFO of recorded DMAs. Draining truncates and
+// reuses the backing slice in place, so steady-state task churn neither
+// deletes and re-creates map entries nor reallocates the queue.
+type dmaQueue struct {
+	recs []DMARec
+	head int
+}
+
 // Base is the common machinery of a DSim device. Accelerator models embed
 // it and implement RegRead/RegWrite on top (the paper's adapter base
 // class with RegRead/RegWrite/ExecuteEvent/DmaComplete callbacks, §A.2).
@@ -40,9 +48,11 @@ type Base struct {
 	Host    accel.Host
 	Net     *lpn.Net
 
-	queues map[string][]DMARec
-	qHead  map[string]int
-	now    vclock.Time
+	queues map[string]*dmaQueue
+	// freeBufs recycles write-payload buffers: a payload is dead once its
+	// DMA is replayed, so WriteDMA reuses it for a later recording.
+	freeBufs [][]byte
+	now      vclock.Time
 
 	stats     accel.DeviceStats
 	busyStart vclock.Time
@@ -54,8 +64,36 @@ func (b *Base) Init(name string, host accel.Host, net *lpn.Net) {
 	b.DevName = name
 	b.Host = host
 	b.Net = net
-	b.queues = make(map[string][]DMARec)
-	b.qHead = make(map[string]int)
+	b.queues = make(map[string]*dmaQueue)
+}
+
+// queue returns tag's FIFO, creating it on first use.
+func (b *Base) queue(tag string) *dmaQueue {
+	q := b.queues[tag]
+	if q == nil {
+		q = &dmaQueue{}
+		b.queues[tag] = q
+	}
+	return q
+}
+
+// payloadBuf returns a recycled buffer of length n, or a fresh one.
+func (b *Base) payloadBuf(n int) []byte {
+	for i := len(b.freeBufs) - 1; i >= 0; i-- {
+		if buf := b.freeBufs[i]; cap(buf) >= n {
+			b.freeBufs[i] = b.freeBufs[len(b.freeBufs)-1]
+			b.freeBufs = b.freeBufs[:len(b.freeBufs)-1]
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycle returns a replayed write payload to the pool.
+func (b *Base) recycle(buf []byte) {
+	if cap(buf) > 0 && len(b.freeBufs) < 64 {
+		b.freeBufs = append(b.freeBufs, buf)
+	}
 }
 
 // Name implements accel.Device.
@@ -116,38 +154,45 @@ func (b *Base) Recorder() *Recorder { return &Recorder{b} }
 func (r *Recorder) ReadDMA(tag string, addr mem.Addr, size int) []byte {
 	buf := make([]byte, size)
 	r.b.Host.ZeroCostRead(addr, buf)
-	r.b.queues[tag] = append(r.b.queues[tag], DMARec{Kind: mem.Read, Addr: addr, Size: size})
+	q := r.b.queue(tag)
+	q.recs = append(q.recs, DMARec{Kind: mem.Read, Addr: addr, Size: size})
 	return buf
 }
 
 // WriteDMA records a write under tag; the payload reaches host memory
-// when the LPN emits the corresponding DMA.
+// when the LPN emits the corresponding DMA. The payload buffer comes from
+// the recycled-pool and returns there after replay.
 func (r *Recorder) WriteDMA(tag string, addr mem.Addr, data []byte) {
-	cp := make([]byte, len(data))
+	cp := r.b.payloadBuf(len(data))
 	copy(cp, data)
-	r.b.queues[tag] = append(r.b.queues[tag], DMARec{Kind: mem.Write, Addr: addr, Size: len(data), Data: cp})
+	q := r.b.queue(tag)
+	q.recs = append(q.recs, DMARec{Kind: mem.Write, Addr: addr, Size: len(data), Data: cp})
 }
 
 // Pending reports how many recorded DMAs remain unreplayed for tag.
 func (b *Base) Pending(tag string) int {
-	return len(b.queues[tag]) - b.qHead[tag]
+	q := b.queues[tag]
+	if q == nil {
+		return 0
+	}
+	return len(q.recs) - q.head
 }
 
 func (b *Base) pop(tag string) DMARec {
 	q := b.queues[tag]
-	h := b.qHead[tag]
-	if h >= len(q) {
+	if q == nil || q.head >= len(q.recs) {
 		panic(fmt.Sprintf("dsim %s: LPN emitted DMA for tag %q but the functional track recorded none — "+
 			"performance and functionality tracks disagree", b.DevName, tag))
 	}
-	rec := q[h]
-	h++
-	if h == len(q) {
-		// Queue fully drained; reset to keep memory bounded.
-		delete(b.queues, tag)
-		delete(b.qHead, tag)
-	} else {
-		b.qHead[tag] = h
+	rec := q.recs[q.head]
+	q.recs[q.head] = DMARec{} // release the payload reference
+	q.head++
+	if q.head == len(q.recs) {
+		// Queue fully drained; truncate in place so the backing array is
+		// reused by the next task instead of re-created map-entry by
+		// map-entry.
+		q.recs = q.recs[:0]
+		q.head = 0
 	}
 	return rec
 }
@@ -165,6 +210,7 @@ func (b *Base) EmitDMA(tag string, resp *lpn.Place) lpn.EffectFunc {
 		b.stats.DMABytes += int64(rec.Size)
 		if rec.Kind == mem.Write && rec.Data != nil {
 			b.Host.ZeroCostWrite(rec.Addr, rec.Data)
+			b.recycle(rec.Data)
 		}
 		if resp != nil {
 			t := lpn.Tok(comp)
@@ -187,6 +233,7 @@ func (b *Base) EmitDMABatch(tag string, n int, resp *lpn.Place) lpn.EffectFunc {
 			b.stats.DMABytes += int64(rec.Size)
 			if rec.Kind == mem.Write && rec.Data != nil {
 				b.Host.ZeroCostWrite(rec.Addr, rec.Data)
+				b.recycle(rec.Data)
 			}
 			if comp > last {
 				last = comp

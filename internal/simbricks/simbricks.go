@@ -43,7 +43,11 @@ const (
 
 const headerSize = 1 + 8 + 8 + 8 + 4 // type | timestamp | addr | aux | len
 
-// Channel is a shared-memory message ring between two simulators.
+// Channel is a shared-memory message ring between two simulators. The
+// ring doubles as the encode/decode scratch: headers and payloads are
+// marshaled directly into it and decoded as views of it, so the
+// steady-state per-message cost is the copy itself — zero heap
+// allocations (TestChannelSteadyStateAllocFree pins this).
 type Channel struct {
 	ring []byte
 	head int
@@ -67,6 +71,12 @@ func NewChannel(size int) *Channel {
 // that the tight integration avoids.
 func (c *Channel) send(typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) int {
 	need := headerSize + len(payload)
+	if need > len(c.ring) {
+		// Grow once to fit the largest message seen; the ring is shared
+		// scratch, so this never becomes a per-message allocation.
+		c.ring = make([]byte, 2*need)
+		c.head = 0
+	}
 	if c.head+need > len(c.ring) {
 		c.head = 0
 	}
