@@ -1,4 +1,13 @@
-check:
+# lint is the style/determinism gate: gofmt, go vet, and the simlint
+# static-analysis suite (internal/analysis; see DESIGN.md "Determinism
+# rules"). simlint exits nonzero on any finding, so `make check` cannot
+# pass with one.
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt -l:"; echo "$$fmt"; exit 1; fi
+	go vet ./...
+	go run ./cmd/simlint -json
+
+check: lint
 	sh check.sh
 
 # Micro-benchmark suite (LPN engine incremental-vs-reference, simbricks
@@ -11,4 +20,4 @@ bench:
 	go test -run xxx -bench . -benchtime 1x ./...
 	go run ./cmd/paperbench -exp all -json BENCH_pr3.json
 
-.PHONY: check bench
+.PHONY: lint check bench

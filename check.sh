@@ -1,12 +1,24 @@
 #!/bin/sh
-# check.sh — the repository's tier-1 gate plus the concurrency-sensitive
-# race checks. `make check` runs this.
+# check.sh — the repository's tier-1 gate plus the style/determinism
+# lints and the race-mode concurrency checks. `make check` runs this
+# (after `make lint`, whose steps the first three lines mirror so that
+# running check.sh directly enforces the same bar).
 set -eux
 
+# Style/determinism gate: gofmt-clean tree, vet-clean, and zero simlint
+# findings (internal/analysis: nondet-time, nondet-rand, map-order,
+# stray-goroutine, unchecked-error).
+test -z "$(gofmt -l .)"
 go vet ./...
+go run ./cmd/simlint
+
 go build ./...
 go test ./...
-# The sweep executor and the NEX engine's shared memo caches are the only
-# concurrency in the tree; race-check them explicitly.
-go test -race ./internal/sweep/... ./internal/nex/...
-go test -race ./internal/experiments/ -run TestParallelOutputByteIdentical
+
+# Race-mode pass over every internal package. The sweep executor and the
+# engines' shared memo caches are the only intended concurrency in the
+# tree; racing everything also guards against new goroutines sneaking in
+# past the stray-goroutine checker's allowlist. The deterministic-output
+# tests (TestParallelOutputByteIdentical, TestRepeatedRunByteIdentical)
+# run under race here too.
+go test -race ./internal/...

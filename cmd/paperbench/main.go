@@ -66,7 +66,10 @@ func main() {
 		start := time.Now()
 		err := e.Run(&buf)
 		wall := time.Since(start)
-		os.Stdout.Write(buf.Bytes())
+		if _, werr := os.Stdout.Write(buf.Bytes()); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)

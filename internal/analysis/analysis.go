@@ -1,0 +1,301 @@
+// Package analysis implements simlint, the repository's determinism and
+// correctness static-analysis suite (driven by cmd/simlint and `make
+// lint`).
+//
+// The whole value of this reproduction rests on deterministic,
+// byte-identical experiment tables: a stray time.Now, an unseeded
+// math/rand draw, a side-effecting range over a map, or a goroutine
+// spawned outside internal/sweep silently breaks reproducibility in ways
+// the unit tests may not catch. Each checker here enforces one of those
+// rules mechanically, using go/types so matches are symbol-accurate
+// rather than textual (aliased imports, shadowed identifiers, and
+// same-named functions from other packages neither fool it nor false-
+// positive it).
+//
+// Findings can be suppressed at legitimate sites with an inline
+// directive on the offending line or the line above:
+//
+//	//simlint:allow nondet-time wall-clock speed reporting is the point here
+//
+// The directive names one checker (or a comma-separated list) and an
+// optional free-form reason. Whole-file allowlists for intrinsically
+// wall-clock code (cmd/paperbench, examples/, internal/experiments/
+// speed.go) live in defaultAllow below.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic raised by a checker.
+type Finding struct {
+	File    string `json:"file"` // module-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"` // suggested remediation
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Checker, f.Message)
+}
+
+// Checker is one named analysis pass.
+type Checker struct {
+	ID  string
+	Doc string
+	Run func(p *Pass)
+}
+
+// Checkers returns the full suite in stable order.
+func Checkers() []*Checker {
+	return []*Checker{
+		nondetTimeChecker,
+		nondetRandChecker,
+		mapOrderChecker,
+		strayGoroutineChecker,
+		uncheckedErrorChecker,
+	}
+}
+
+// checkerByID resolves a checker name; nil if unknown.
+func checkerByID(id string) *Checker {
+	for _, c := range Checkers() {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// defaultAllow maps a checker ID to module-relative path prefixes (or
+// exact files) that are exempt wholesale. These are the sites whose job
+// is the thing the checker forbids: wall-clock speed reporting for
+// nondet-time, the parallel sweep executor for stray-goroutine. Test
+// files (*_test.go) are exempt from every checker and are not analyzed
+// at all.
+var defaultAllow = map[string][]string{
+	"nondet-time": {
+		"cmd/paperbench/",               // reports measured wall time per experiment
+		"cmd/nexsim/",                   // -wall flag reports run wall time
+		"examples/",                     // demos print sim-vs-wall comparisons
+		"internal/experiments/speed.go", // §6.3 speed tables measure wall clock
+	},
+	"stray-goroutine": {
+		"internal/sweep/", // the one sanctioned home of parallelism
+	},
+}
+
+// Pass is the per-package context handed to a checker's Run.
+type Pass struct {
+	Checker *Checker
+	Module  *Module
+	Pkg     *Package
+
+	suppress map[string]map[int]bool // file -> line -> suppressed for this checker
+	findings *[]Finding
+}
+
+// relFile converts a token.Pos to a module-relative slash path.
+func (p *Pass) relFile(pos token.Pos) string {
+	file := p.Module.Fset.Position(pos).Filename
+	if rel, err := filepath.Rel(p.Module.Root, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// allowed reports whether file (module-relative) is allowlisted for the
+// current checker.
+func (p *Pass) allowed(file string) bool {
+	if strings.HasSuffix(file, "_test.go") {
+		return true
+	}
+	for _, prefix := range defaultAllow[p.Checker.ID] {
+		if file == prefix || strings.HasPrefix(file, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report records a finding unless the site is allowlisted or carries a
+// //simlint:allow suppression on its own line or the line above.
+func (p *Pass) Report(pos token.Pos, msg, fix string) {
+	position := p.Module.Fset.Position(pos)
+	file := p.relFile(pos)
+	if p.allowed(file) {
+		return
+	}
+	if lines := p.suppress[file]; lines[position.Line] {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Checker: p.Checker.ID,
+		Message: msg,
+		Fix:     fix,
+	})
+}
+
+// suppressions scans a file's comments for //simlint:allow directives and
+// returns, per checker ID, the set of source lines the directive covers
+// (its own line and the one below it).
+func suppressions(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//simlint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, id := range strings.Split(fields[0], ",") {
+				if out[id] == nil {
+					out[id] = map[int]bool{}
+				}
+				out[id][line] = true
+				out[id][line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzePackage runs the given checkers (all of them when nil) over one
+// package and returns sorted findings.
+func AnalyzePackage(m *Module, pkg *Package, checkers []*Checker) []Finding {
+	if checkers == nil {
+		checkers = Checkers()
+	}
+	// Collect suppressions once per file, then slice them per checker.
+	perFile := map[string]map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		rel := filepath.ToSlash(mustRel(m.Root, m.Fset.Position(f.Pos()).Filename))
+		perFile[rel] = suppressions(m.Fset, f)
+	}
+	var findings []Finding
+	for _, c := range checkers {
+		sup := map[string]map[int]bool{}
+		for file, byChecker := range perFile {
+			if lines := byChecker[c.ID]; lines != nil {
+				sup[file] = lines
+			}
+		}
+		pass := &Pass{Checker: c, Module: m, Pkg: pkg, suppress: sup, findings: &findings}
+		c.Run(pass)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// AnalyzeModule loads the module rooted at root and runs the named
+// checkers (all when names is empty) over every package.
+func AnalyzeModule(root string, names []string) ([]Finding, error) {
+	m, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	checkers, err := resolveCheckers(names)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		findings = append(findings, AnalyzePackage(m, pkg, checkers)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// AnalyzeFixtureDir analyzes the single package in dir (typically a
+// testdata fixture, which the module walk deliberately skips) against
+// the named checkers. root must be the surrounding module so the
+// fixture's module-internal imports resolve.
+func AnalyzeFixtureDir(root, dir string, names []string) ([]Finding, error) {
+	m, err := NewModule(root)
+	if err != nil {
+		return nil, err
+	}
+	checkers, err := resolveCheckers(names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.LoadExtraDir(dir, "fixture")
+	if err != nil {
+		return nil, err
+	}
+	findings := AnalyzePackage(m, pkg, checkers)
+	sortFindings(findings)
+	return findings, nil
+}
+
+func resolveCheckers(names []string) ([]*Checker, error) {
+	if len(names) == 0 {
+		return Checkers(), nil
+	}
+	var out []*Checker
+	for _, n := range names {
+		c := checkerByID(n)
+		if c == nil {
+			return nil, fmt.Errorf("unknown checker %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Checker < b.Checker
+	})
+}
+
+func mustRel(base, target string) string {
+	rel, err := filepath.Rel(base, target)
+	if err != nil {
+		return target
+	}
+	return rel
+}
+
+// inspectFuncs walks every function body in the package (declarations
+// and literals), calling fn with the function node and its body. Nested
+// literals are visited with their own (innermost) body.
+func inspectFuncs(pkg *Package, fn func(node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d, d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+// testModule loads (once) the repository module this test runs inside.
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			modErr = err
+			return
+		}
+		root := wd
+		for {
+			if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(root)
+			if parent == root {
+				modErr = fmt.Errorf("no go.mod above %s", wd)
+				return
+			}
+			root = parent
+		}
+		mod, modErr = LoadModule(root)
+	})
+	if modErr != nil {
+		t.Fatalf("loading module: %v", modErr)
+	}
+	return mod
+}
+
+// wantMarker matches golden-finding expectations embedded in fixtures.
+var wantMarker = regexp.MustCompile(`// WANT ([a-z-]+)`)
+
+// expectedFindings scans fixture files for // WANT <checker> markers.
+func expectedFindings(t *testing.T, filenames []string, root string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	for _, fn := range filenames {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := filepath.Rel(root, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d %s", filepath.ToSlash(rel), i+1, m[1])] = true
+			}
+		}
+	}
+	return want
+}
+
+func findingKeys(fs []Finding) map[string]bool {
+	got := map[string]bool{}
+	for _, f := range fs {
+		got[fmt.Sprintf("%s:%d %s", f.File, f.Line, f.Checker)] = true
+	}
+	return got
+}
+
+func diffSets(t *testing.T, want, got map[string]bool) {
+	t.Helper()
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if !want[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch {
+		case want[k] && !got[k]:
+			t.Errorf("missing finding: %s", k)
+		case !want[k] && got[k]:
+			t.Errorf("unexpected finding: %s", k)
+		}
+	}
+}
+
+// TestGoldenFindings runs each checker over its fixture package (one
+// positive file full of WANT markers, one marker-free negative file) and
+// asserts the reported findings match the markers exactly.
+func TestGoldenFindings(t *testing.T) {
+	fixtures := map[string]string{
+		"nondettime":     "nondet-time",
+		"nondetrand":     "nondet-rand",
+		"maporder":       "map-order",
+		"straygoroutine": "stray-goroutine",
+		"uncheckederror": "unchecked-error",
+	}
+	m := testModule(t)
+	for dir, checker := range fixtures {
+		dir, checker := dir, checker
+		t.Run(checker, func(t *testing.T) {
+			c := checkerByID(checker)
+			if c == nil {
+				t.Fatalf("unknown checker %q", checker)
+			}
+			fixDir := filepath.Join(m.Root, "internal/analysis/testdata/src", dir)
+			pkg, err := m.LoadExtraDir(fixDir, "fixture/"+dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			want := expectedFindings(t, pkg.Filenames, m.Root)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no WANT markers", dir)
+			}
+			got := findingKeys(AnalyzePackage(m, pkg, []*Checker{c}))
+			diffSets(t, want, got)
+
+			// The negative file must contribute nothing.
+			for k := range got {
+				if strings.Contains(k, "/neg.go") {
+					t.Errorf("negative fixture file raised a finding: %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression checks both //simlint:allow forms — trailing on the
+// offending line and alone on the line above — and that unannotated
+// sites in the same file still fire.
+func TestSuppression(t *testing.T) {
+	m := testModule(t)
+	fixDir := filepath.Join(m.Root, "internal/analysis/testdata/src/suppress")
+	pkg, err := m.LoadExtraDir(fixDir, "fixture/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	checkers := []*Checker{checkerByID("nondet-time"), checkerByID("nondet-rand")}
+	got := AnalyzePackage(m, pkg, checkers)
+	want := expectedFindings(t, pkg.Filenames, m.Root)
+	diffSets(t, want, findingKeys(got))
+	if len(got) != 1 {
+		t.Errorf("got %d findings, want exactly the one unsuppressed site: %v", len(got), got)
+	}
+}
+
+// TestCommittedTreeClean asserts the repository itself is finding-free:
+// every determinism rule the suite enforces holds on the committed code.
+func TestCommittedTreeClean(t *testing.T) {
+	m := testModule(t)
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		findings = append(findings, AnalyzePackage(m, pkg, nil)...)
+	}
+	for _, f := range findings {
+		t.Errorf("committed tree has finding: %s", f)
+	}
+}
+
+// TestCheckerRegistry pins the suite composition: five uniquely named
+// checkers, resolvable by ID, with unknown names rejected.
+func TestCheckerRegistry(t *testing.T) {
+	cs := Checkers()
+	if len(cs) != 5 {
+		t.Fatalf("suite has %d checkers, want 5", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.ID] {
+			t.Errorf("duplicate checker ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if checkerByID(c.ID) != c {
+			t.Errorf("checkerByID(%q) does not round-trip", c.ID)
+		}
+		if c.Doc == "" {
+			t.Errorf("checker %q has no doc line", c.ID)
+		}
+	}
+	if _, err := resolveCheckers([]string{"no-such-checker"}); err == nil {
+		t.Error("resolveCheckers accepted an unknown checker name")
+	}
+}

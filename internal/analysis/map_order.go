@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapOrderChecker flags `range` loops over maps whose bodies have
+// order-dependent effects: appending to a slice, writing output, or
+// pushing into the ordered engine structures (internal/eventq,
+// internal/lpn). Go randomizes map iteration order per run, so any such
+// loop produces run-to-run differences unless the keys are sorted first.
+// The one sanctioned shape — collect keys, sort, iterate the sorted
+// slice — is recognized and not flagged: an append-only loop whose
+// enclosing function sorts the collected slice passes.
+var mapOrderChecker = &Checker{
+	ID:  "map-order",
+	Doc: "map iteration with order-dependent effects and no surrounding key sort",
+	Run: runMapOrder,
+}
+
+// printFuncs are fmt functions that emit output (Sprintf and friends are
+// pure and stay legal inside map ranges).
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writerMethods are method names that append to an output or builder.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapOrder(p *Pass) {
+	inspectFuncs(p.Pkg, func(_ ast.Node, body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.checkMapRange(rng, body)
+			return true
+		})
+	})
+}
+
+// checkMapRange examines one map-typed range loop. fnBody is the body of
+// the innermost enclosing function, scanned for a redeeming sort call.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	var (
+		appendTargets []types.Object
+		firstEffect   string
+	)
+	note := func(what string, _ token.Pos) {
+		if firstEffect == "" {
+			firstEffect = what
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !p.isBuiltinAppend(call) {
+					continue
+				}
+				if obj := p.rootObject(s.Lhs[0]); obj != nil {
+					appendTargets = append(appendTargets, obj)
+				}
+				note("appends to a slice", s.Pos())
+			}
+		case *ast.CallExpr:
+			fn := p.calleeFunc(s)
+			if fn == nil {
+				return true
+			}
+			pkgPath := ""
+			if fn.Pkg() != nil {
+				pkgPath = fn.Pkg().Path()
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			switch {
+			case pkgPath == "fmt" && printFuncs[fn.Name()]:
+				note("writes output via fmt."+fn.Name(), s.Pos())
+			case recv != nil && writerMethods[fn.Name()]:
+				note("writes output via "+fn.Name(), s.Pos())
+			case strings.HasPrefix(pkgPath, p.Module.Path+"/internal/eventq"),
+				strings.HasPrefix(pkgPath, p.Module.Path+"/internal/lpn"):
+				note("feeds ordered engine state via "+fn.Name(), s.Pos())
+			}
+		}
+		return true
+	})
+	if firstEffect == "" {
+		return
+	}
+	// The sanctioned sortedKeys shape: the loop only appends, and the
+	// enclosing function sorts what it collected.
+	if firstEffect == "appends to a slice" && p.sortsAny(fnBody, appendTargets) {
+		return
+	}
+	p.Report(rng.Pos(),
+		"map iteration "+firstEffect+" — Go randomizes map order per run, so the result is nondeterministic",
+		"iterate over sorted keys (collect, sort.Strings/sort.Slice, then range the slice)")
+}
+
+// sortsAny reports whether fnBody contains a call into package sort or
+// slices that mentions one of the given variables — the collect-sort
+// idiom that makes an append-under-range loop deterministic.
+func (p *Pass) sortsAny(fnBody *ast.BlockStmt, targets []types.Object) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				id, ok := a.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[id]
+				for _, t := range targets {
+					if obj == t {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func (p *Pass) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and calls of function values.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootObject returns the variable at the root of an assignable
+// expression: x for x, x.f, x[i].f, and so on.
+func (p *Pass) rootObject(expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return p.Pkg.Info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inspectShallow walks stmts like ast.Inspect but does not descend into
+// nested function literals (those are visited as functions of their own
+// by inspectFuncs).
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// nondetRandChecker flags draws from math/rand's process-global source.
+// The global source is shared mutable state: any new draw anywhere in
+// the program perturbs every other consumer's sequence, and rand.Seed is
+// deprecated no-op territory. Every random stream in this repository
+// must come from internal/xrand (named, derivable, stable) or an
+// explicit rand.New(rand.NewSource(seed)) — both of which this checker
+// deliberately leaves alone.
+var nondetRandChecker = &Checker{
+	ID:  "nondet-rand",
+	Doc: "math/rand global-source draws instead of seeded internal/xrand streams",
+	Run: runNondetRand,
+}
+
+// globalSourceFuncs are the math/rand package-level functions that read
+// or mutate the global source. Constructors (New, NewSource, NewZipf)
+// and methods on an explicit *rand.Rand are fine.
+var globalSourceFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+	// math/rand/v2 additions (the v2 global source is auto-seeded and
+	// therefore nondeterministic by construction).
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func runNondetRand(p *Pass) {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		forEachPkgFuncUse(p, path, func(sel *ast.SelectorExpr, fn *types.Func) {
+			// Only package-level functions touch the global source;
+			// methods (fn has a receiver) operate on explicit sources.
+			if fn.Type().(*types.Signature).Recv() != nil || !globalSourceFuncs[fn.Name()] {
+				return
+			}
+			p.Report(sel.Pos(),
+				fmt.Sprintf("global-source rand.%s is nondeterministic across runs", fn.Name()),
+				"derive a named stream from internal/xrand, or use rand.New(rand.NewSource(seed))")
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// nondetTimeChecker flags wall-clock reads and timer construction from
+// package time. Simulated time lives in internal/vclock; wall-clock
+// values differ run to run and must never feed simulation state. The
+// legitimate wall-time-reporting sites (speed tables, cmd binaries,
+// examples) are allowlisted in defaultAllow or annotated inline.
+var nondetTimeChecker = &Checker{
+	ID:  "nondet-time",
+	Doc: "wall-clock reads (time.Now/Since/...) outside the speed-reporting allowlist",
+	Run: runNondetTime,
+}
+
+// wallClockFuncs are the package-time functions whose results depend on
+// the host clock or scheduler. Pure constructors and arithmetic
+// (time.Duration, time.Unix, d.Round) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runNondetTime(p *Pass) {
+	forEachPkgFuncUse(p, "time", func(sel *ast.SelectorExpr, fn *types.Func) {
+		if !wallClockFuncs[fn.Name()] {
+			return
+		}
+		p.Report(sel.Pos(),
+			fmt.Sprintf("nondeterministic wall-clock call time.%s; simulation state must use internal/vclock", fn.Name()),
+			"use vclock.Time/vclock.Duration, or annotate a genuine speed-reporting site with //simlint:allow nondet-time")
+	})
+}
+
+// forEachPkgFuncUse visits every selector expression in the package that
+// resolves (via go/types, so through import aliases too) to a function
+// or method of the given package.
+func forEachPkgFuncUse(p *Pass, pkgPath string, visit func(sel *ast.SelectorExpr, fn *types.Func)) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+				return true
+			}
+			visit(sel, fn)
+			return true
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys is the sanctioned shape: collect, sort, then use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DumpSorted renders through the sorted-keys idiom.
+func DumpSorted(m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// Total aggregates commutatively; order cannot show in the result.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

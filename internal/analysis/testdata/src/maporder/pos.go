@@ -1,0 +1,42 @@
+package fixture
+
+import (
+	"fmt"
+	"strings"
+
+	"nexsim/internal/eventq"
+	"nexsim/internal/vclock"
+)
+
+// Keys collects map keys in iteration order and never sorts them.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // WANT map-order
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump prints rows straight out of the map.
+func Dump(m map[string]int) {
+	for k, v := range m { // WANT map-order
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Render builds output in map order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // WANT map-order
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Schedule feeds the deterministic event queue in map order, so FIFO
+// tie-breaking differs run to run.
+func Schedule(q *eventq.Queue, wake map[string]vclock.Time) {
+	for _, at := range wake { // WANT map-order
+		q.At(at, func(vclock.Time) {})
+	}
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "math/rand"
+
+// SeededRoll draws from an explicit, reproducible source; constructors
+// and *rand.Rand methods are legal.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// SeededPerm is likewise pinned to its seed.
+func SeededPerm(seed int64, n int) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "math/rand"
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // WANT nondet-rand
+}
+
+// Noise seeds and draws from the global source.
+func Noise() float64 {
+	rand.Seed(42)             // WANT nondet-rand
+	return rand.NormFloat64() // WANT nondet-rand
+}
+
+// ShuffleIDs perturbs every other global-source consumer.
+func ShuffleIDs(ids []int) {
+	rand.Shuffle(len(ids), func(i, j int) { // WANT nondet-rand
+		ids[i], ids[j] = ids[j], ids[i]
+	})
+}

@@ -1,0 +1,18 @@
+package fixture
+
+import "time"
+
+// Budget uses only pure duration arithmetic — no clock reads.
+func Budget(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) + 5*time.Second
+}
+
+// FromUnix constructs a fixed instant deterministically.
+func FromUnix(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// Format formats without consulting the clock.
+func Format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

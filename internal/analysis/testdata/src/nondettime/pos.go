@@ -1,0 +1,23 @@
+package fixture
+
+import (
+	"time"
+
+	wall "time"
+)
+
+// Epoch reads the host clock directly.
+func Epoch() time.Time {
+	return time.Now() // WANT nondet-time
+}
+
+// Elapsed sleeps on and measures wall time.
+func Elapsed(t0 time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // WANT nondet-time
+	return time.Since(t0)        // WANT nondet-time
+}
+
+// AliasNow proves the checker resolves symbols, not import spellings.
+func AliasNow() wall.Time {
+	return wall.Now() // WANT nondet-time
+}

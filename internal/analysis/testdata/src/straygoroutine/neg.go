@@ -1,0 +1,17 @@
+package fixture
+
+// Poll has a single communication clause; with a default it is a
+// deterministic readiness check, not a race between channels.
+func Poll(c chan int) (int, bool) {
+	select {
+	case v := <-c:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Handoff is a plain blocking receive.
+func Handoff(c chan int) int {
+	return <-c
+}

@@ -1,0 +1,19 @@
+package fixture
+
+// Fire spawns a goroutine inside what should be a single-threaded
+// engine.
+func Fire(done chan struct{}) {
+	go func() { // WANT stray-goroutine
+		done <- struct{}{}
+	}()
+}
+
+// Race picks whichever channel is ready first — scheduler-dependent.
+func Race(a, b chan int) int {
+	select { // WANT stray-goroutine
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

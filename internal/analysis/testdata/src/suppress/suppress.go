@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is annotated on the offending line itself.
+func Stamp() time.Time {
+	return time.Now() //simlint:allow nondet-time annotated wall-clock site
+}
+
+// Roll is annotated on the line above the offending one.
+func Roll() int {
+	//simlint:allow nondet-rand seeding strategy documented elsewhere
+	return rand.Intn(6)
+}
+
+// Unsuppressed still fires: suppressions are per-line, not per-file.
+func Unsuppressed() time.Time {
+	return time.Now() // WANT nondet-time
+}

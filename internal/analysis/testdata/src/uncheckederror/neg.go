@@ -1,0 +1,34 @@
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Render writes only to never-failing in-memory writers (allowlisted)
+// and through the fmt print family.
+func Render(rows []string) string {
+	var b strings.Builder
+	var scratch bytes.Buffer
+	for _, r := range rows {
+		b.WriteString(r)
+		scratch.WriteByte('\n')
+		fmt.Fprintln(&b, scratch.String())
+	}
+	return b.String()
+}
+
+// Remove discards explicitly — deliberate and greppable.
+func Remove(path string) {
+	_ = os.Remove(path)
+}
+
+// Checked handles its error.
+func Checked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("remove: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// uncheckedErrorChecker flags call statements that silently drop an
+// error result. A swallowed error in an engine or driver turns a failed
+// simulation step into silently-wrong tables. Explicitly assigning to
+// the blank identifier (`_ = f()`) is treated as a deliberate,
+// greppable discard and stays legal; simply not looking is not.
+//
+// Allowlisted callees are the fmt print family plus methods on the
+// never-failing in-memory writers (strings.Builder, bytes.Buffer): table
+// rendering writes thousands of fmt.Fprintf lines, and wrapping each in
+// error plumbing would bury the experiments in noise for writers that
+// cannot fail.
+var uncheckedErrorChecker = &Checker{
+	ID:  "unchecked-error",
+	Doc: "discarded error results on non-allowlisted calls",
+	Run: runUncheckedError,
+}
+
+// errorFreeReceivers are types whose methods' error results never fire.
+var errorFreeReceivers = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runUncheckedError(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(p, call) || errAllowlisted(p, call) {
+				return true
+			}
+			name := "call"
+			if fn := p.calleeFunc(call); fn != nil {
+				name = fn.Name()
+			}
+			p.Report(call.Pos(),
+				fmt.Sprintf("error result of %s discarded", name),
+				"handle the error, or make the discard explicit with `_ = ...`")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error
+// (conventionally the last one).
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errAllowlisted reports whether the callee is on the never-fails list.
+func errAllowlisted(p *Pass, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if errorFreeReceivers[key] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -119,7 +119,9 @@ func (t *Thread) Resume() Request {
 	}
 	if !t.started {
 		t.started = true
-		go t.run()
+		// Synchronous handoff: the new goroutine blocks on t.resume until
+		// the engine yields to it, so engine and thread never run at once.
+		go t.run() //simlint:allow stray-goroutine deterministic channel handshake
 	}
 	t.resume <- struct{}{}
 	r := <-t.req
