@@ -10,6 +10,12 @@ lint:
 check: lint
 	sh check.sh
 
+# End-to-end smoke test of the simd daemon: ephemeral port, cheap job
+# submitted twice, 200 + byte-identical cache hit on the resubmit,
+# graceful SIGTERM drain. check.sh runs this too.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # Micro-benchmark suite (LPN engine incremental-vs-reference, simbricks
 # channel) at a stable sampling time, a smoke pass over every other
 # registered benchmark, then the full paper experiment run with a JSON
@@ -20,4 +26,4 @@ bench:
 	go test -run xxx -bench . -benchtime 1x ./...
 	go run ./cmd/paperbench -exp all -json BENCH_pr3.json
 
-.PHONY: lint check bench
+.PHONY: lint check bench serve-smoke

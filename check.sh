@@ -15,10 +15,16 @@ go run ./cmd/simlint
 go build ./...
 go test ./...
 
-# Race-mode pass over every internal package. The sweep executor and the
-# engines' shared memo caches are the only intended concurrency in the
-# tree; racing everything also guards against new goroutines sneaking in
-# past the stray-goroutine checker's allowlist. The deterministic-output
-# tests (TestParallelOutputByteIdentical, TestRepeatedRunByteIdentical)
-# run under race here too.
+# Race-mode pass over every internal package. The sweep executor, the
+# engines' shared memo caches, and the simserve worker pool are the only
+# intended concurrency in the tree; racing everything also guards
+# against new goroutines sneaking in past the stray-goroutine checker's
+# allowlist. The deterministic-output tests
+# (TestParallelOutputByteIdentical, TestRepeatedRunByteIdentical) run
+# under race here too.
 go test -race ./internal/...
+
+# End-to-end serving smoke: simd on an ephemeral port, a cheap job
+# submitted twice, byte-identical cache hit on the resubmit (verified
+# against /metrics), graceful SIGTERM drain.
+sh scripts/serve_smoke.sh

@@ -28,12 +28,17 @@ import (
 	"nexsim/internal/experiments"
 )
 
-// jsonEntry is one experiment's record in the -json report.
+// jsonEntry is one experiment's record in the -json report. Parallel
+// and GoVersion record the run environment: wall times are only
+// comparable across reports taken at the same worker count and
+// toolchain.
 type jsonEntry struct {
-	ID       string  `json:"id"`
-	Title    string  `json:"title"`
-	WallMS   float64 `json:"wall_ms"`
-	Headline string  `json:"headline"`
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	WallMS    float64 `json:"wall_ms"`
+	Headline  string  `json:"headline"`
+	Parallel  int     `json:"parallel"`
+	GoVersion string  `json:"go_version"`
 }
 
 func main() {
@@ -76,10 +81,12 @@ func main() {
 		}
 		fmt.Printf("(%s in %s)\n\n", e.ID, wall.Round(time.Millisecond))
 		report = append(report, jsonEntry{
-			ID:       e.ID,
-			Title:    e.Title,
-			WallMS:   float64(wall) / float64(time.Millisecond),
-			Headline: lastLine(buf.String()),
+			ID:        e.ID,
+			Title:     e.Title,
+			WallMS:    float64(wall) / float64(time.Millisecond),
+			Headline:  lastLine(buf.String()),
+			Parallel:  *parallel,
+			GoVersion: runtime.Version(),
 		})
 	}
 

@@ -1,0 +1,100 @@
+// Command simd serves the deterministic simulation engines as a
+// long-running HTTP/JSON daemon (see internal/simserve and the README's
+// "Running as a service" section).
+//
+// Usage:
+//
+//	simd -addr 127.0.0.1:8080
+//	simd -addr 127.0.0.1:0 -portfile /tmp/simd.addr   # ephemeral port
+//
+// Endpoints:
+//
+//	POST /jobs      submit a batch of run specs ({"specs":[...],"wait":true})
+//	GET  /jobs/{id} poll one job by content address
+//	GET  /healthz   liveness
+//	GET  /metrics   queue/cache/worker counters + per-bench wall histograms
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
+// queued plus in-flight simulations drain to completion (their results
+// land in the cache) before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nexsim/internal/simserve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080",
+			"listen address (use port 0 for an ephemeral port)")
+		workers = flag.Int("workers", 0,
+			"simulation worker pool size (0 = GOMAXPROCS)")
+		backlog = flag.Int("queue", 64,
+			"job queue bound; submits beyond it are refused with 429")
+		cacheEntries = flag.Int("cache", 1024,
+			"result cache capacity (content-addressed LRU)")
+		waitTimeout = flag.Duration("wait-timeout", 60*time.Second,
+			"cap on wait=true submits before degrading to 202 + poll")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute,
+			"cap on connection draining during shutdown")
+		portFile = flag.String("portfile", "",
+			"write the bound host:port to this file once listening (for scripts)")
+	)
+	flag.Parse()
+
+	srv := simserve.New(simserve.Config{
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheEntries: *cacheEntries,
+		WaitTimeout:  *waitTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d queue=%d cache=%d)\n",
+		bound, srv.Workers(), *backlog, *cacheEntries)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "simd: %s — draining\n", got)
+	}
+
+	// Stop accepting connections, then drain in-flight simulations.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "simd: drained, exiting")
+}

@@ -77,7 +77,10 @@ func checkerByID(id string) *Checker {
 // defaultAllow maps a checker ID to module-relative path prefixes (or
 // exact files) that are exempt wholesale. These are the sites whose job
 // is the thing the checker forbids: wall-clock speed reporting for
-// nondet-time, the parallel sweep executor for stray-goroutine. Test
+// nondet-time, the parallel sweep executor for stray-goroutine, and the
+// serving layer (internal/simserve, cmd/simd), which measures wall time
+// and juggles goroutines around the engines without feeding either back
+// into simulation state. Test
 // files (*_test.go) are exempt from every checker and are not analyzed
 // at all.
 var defaultAllow = map[string][]string{
@@ -86,9 +89,17 @@ var defaultAllow = map[string][]string{
 		"cmd/nexsim/",                   // -wall flag reports run wall time
 		"examples/",                     // demos print sim-vs-wall comparisons
 		"internal/experiments/speed.go", // §6.3 speed tables measure wall clock
+		"internal/simserve/",            // serving metrics/timeouts are wall-clock by nature
+		"cmd/simd/",                     // daemon shutdown deadlines
+	},
+	"nondet-rand": {
+		"internal/simserve/", // serving-side jitter/sampling, never simulation state
+		"cmd/simd/",
 	},
 	"stray-goroutine": {
-		"internal/sweep/", // the one sanctioned home of parallelism
+		"internal/sweep/",    // the one sanctioned home of parallelism
+		"internal/simserve/", // request handling + waiting on pool jobs
+		"cmd/simd/",          // HTTP serve loop + signal-driven shutdown
 	},
 }
 

@@ -174,6 +174,78 @@ func TestCommittedTreeClean(t *testing.T) {
 	}
 }
 
+// TestAllowlistScope locks the whole-file allowlist down to exactly the
+// intended sites. Growing it is a deliberate act (update this test);
+// the engines (internal/core, internal/nex, internal/accel, ...) must
+// never appear here.
+func TestAllowlistScope(t *testing.T) {
+	want := map[string][]string{
+		"nondet-time": {
+			"cmd/paperbench/",
+			"cmd/nexsim/",
+			"examples/",
+			"internal/experiments/speed.go",
+			"internal/simserve/",
+			"cmd/simd/",
+		},
+		"nondet-rand": {
+			"internal/simserve/",
+			"cmd/simd/",
+		},
+		"stray-goroutine": {
+			"internal/sweep/",
+			"internal/simserve/",
+			"cmd/simd/",
+		},
+	}
+	if len(defaultAllow) != len(want) {
+		t.Fatalf("defaultAllow covers %d checkers, want %d", len(defaultAllow), len(want))
+	}
+	for id, prefixes := range want {
+		got := defaultAllow[id]
+		if len(got) != len(prefixes) {
+			t.Errorf("%s: allowlist %v, want %v", id, got, prefixes)
+			continue
+		}
+		for i := range prefixes {
+			if got[i] != prefixes[i] {
+				t.Errorf("%s[%d] = %q, want %q", id, i, got[i], prefixes[i])
+			}
+		}
+	}
+
+	// Behavioral check: the serving layer is exempt, prefix-adjacent
+	// paths and the engines are not.
+	cases := []struct {
+		checker, file string
+		allowed       bool
+	}{
+		{"nondet-time", "internal/simserve/simserve.go", true},
+		{"nondet-time", "cmd/simd/main.go", true},
+		{"nondet-rand", "internal/simserve/metrics.go", true},
+		{"stray-goroutine", "internal/simserve/simserve.go", true},
+		{"stray-goroutine", "cmd/simd/main.go", true},
+		{"stray-goroutine", "internal/sweep/pool.go", true},
+		{"nondet-time", "internal/simbricks/adapter.go", false}, // prefix-adjacent
+		{"nondet-time", "cmd/simlint/main.go", false},           // prefix-adjacent
+		{"nondet-time", "internal/core/sim.go", false},
+		{"nondet-rand", "internal/nex/nex.go", false},
+		{"stray-goroutine", "internal/core/sim.go", false},
+		{"map-order", "internal/simserve/metrics.go", false}, // no map-order exemptions anywhere
+		{"unchecked-error", "internal/simserve/simserve.go", false},
+		{"nondet-time", "internal/simserve/simserve_test.go", true}, // test files always exempt
+	}
+	for _, c := range cases {
+		p := &Pass{Checker: checkerByID(c.checker)}
+		if p.Checker == nil {
+			t.Fatalf("unknown checker %q", c.checker)
+		}
+		if got := p.allowed(c.file); got != c.allowed {
+			t.Errorf("allowed(%s, %s) = %v, want %v", c.checker, c.file, got, c.allowed)
+		}
+	}
+}
+
 // TestCheckerRegistry pins the suite composition: five uniquely named
 // checkers, resolvable by ID, with unknown names rejected.
 func TestCheckerRegistry(t *testing.T) {

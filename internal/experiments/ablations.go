@@ -6,7 +6,6 @@ import (
 
 	"nexsim/internal/core"
 	"nexsim/internal/interconnect"
-	"nexsim/internal/nex"
 	"nexsim/internal/stats"
 )
 
@@ -14,19 +13,25 @@ import (
 // task-buffer writes are batched behind doorbells instead of each
 // trapping; disabling it multiplies traps and the epoch-quantization
 // error they carry.
+//
+// Tick and Sync enumerate their runs as Specs — the same structured
+// run descriptions the simserve daemon accepts over HTTP — so the CLI
+// tables and the service share one execution path (RunSpecs).
 func AblationTick(w io.Writer) error {
 	benches := []string{"protoacc-bench0", "jpeg-decode", "vta-resnet18"}
 
 	// Enumerate: a (reference, tick, no-tick) triple per benchmark.
-	var jobs []func() core.Result
+	var specs []Spec
 	for _, name := range benches {
-		b := benchByName(name)
-		jobs = append(jobs,
-			func() core.Result { return run(b, core.HostReference, core.AccelDSim, runOpts{}) },
-			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{}) },
-			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{noTick: true}) })
+		specs = append(specs,
+			Spec{Bench: name, Host: "reference"},
+			Spec{Bench: name, Host: "nex"},
+			Spec{Bench: name, Host: "nex", NoTick: true})
 	}
-	res := runJobs(jobs)
+	res, err := RunSpecs(specs)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
 		"benchmark", "traps(tick)", "traps(no)", "err(tick)", "err(no)")
@@ -47,15 +52,17 @@ func AblationSync(w io.Writer) error {
 	benches := []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"}
 
 	// Enumerate: a (reference, lazy, eager) triple per benchmark.
-	var jobs []func() core.Result
+	var specs []Spec
 	for _, name := range benches {
-		b := benchByName(name)
-		jobs = append(jobs,
-			func() core.Result { return run(b, core.HostReference, core.AccelDSim, runOpts{}) },
-			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Lazy}) },
-			func() core.Result { return run(b, core.HostNEX, core.AccelDSim, runOpts{nexMode: nex.Eager}) })
+		specs = append(specs,
+			Spec{Bench: name, Host: "reference"},
+			Spec{Bench: name, Host: "nex", SyncMode: "lazy"},
+			Spec{Bench: name, Host: "nex", SyncMode: "eager"})
 	}
-	res := runJobs(jobs)
+	res, err := RunSpecs(specs)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n",
 		"benchmark", "syncs(lazy)", "syncs(eager)", "err(lazy)", "err(eager)")

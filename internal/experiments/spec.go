@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"nexsim/internal/core"
+	"nexsim/internal/interconnect"
+	"nexsim/internal/nex"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// Spec is the structured description of one simulation run: which
+// catalogued benchmark, which host and accelerator engines, and the
+// configuration overrides the evaluation sweeps over. It is the shared
+// entry point of the table experiments and the simserve daemon, and it
+// is designed to round-trip through JSON: zero-valued fields mean "use
+// the repository default", so a Spec naming only a bench is complete.
+//
+// Specs are content-addressable: ID() hashes the canonical encoding of
+// the normalized spec, so two requests that differ only in spelling
+// (explicit defaults vs omitted fields) share one address. Every engine
+// is deterministic in the spec — same Spec, same Result — which is what
+// makes address-keyed result caching sound.
+type Spec struct {
+	Bench string `json:"bench"`
+	Host  string `json:"host,omitempty"`  // "reference" | "nex" | "gem5" (default "nex")
+	Accel string `json:"accel,omitempty"` // "dsim" | "rtl" (default "dsim")
+
+	Cores   int    `json:"cores,omitempty"`   // host cores (default 16)
+	Devices int    `json:"devices,omitempty"` // accelerator instances (default: bench's)
+	Seed    uint64 `json:"seed,omitempty"`    // calibration seed (default 42)
+
+	ClockMHz      int64 `json:"clock_mhz,omitempty"`       // host clock (default 3000)
+	AccelClockMHz int64 `json:"accel_clock_mhz,omitempty"` // accel clock (default 2000)
+
+	// NEX overrides (ignored for other hosts).
+	EpochNS        int64  `json:"epoch_ns,omitempty"`
+	VirtualCores   int    `json:"virtual_cores,omitempty"`
+	PhysicalCores  int    `json:"physical_cores,omitempty"`
+	SyncMode       string `json:"sync_mode,omitempty"` // "lazy" | "eager" | "hybrid" (default "lazy")
+	SyncIntervalNS int64  `json:"sync_interval_ns,omitempty"`
+	NoTick         bool   `json:"no_tick,omitempty"`
+
+	// Attachment overrides.
+	LinkLatencyNS int64  `json:"link_latency_ns,omitempty"` // fabric one-way latency
+	DMATarget     string `json:"dma_target,omitempty"`      // "llc" | "l2" (default "llc")
+	UseChannel    bool   `json:"use_channel,omitempty"`
+}
+
+// hostKinds / accelKinds / syncModes / dmaTargets map the spec's string
+// enums onto engine constants. Strings (not ints) keep the JSON wire
+// format self-describing.
+var hostKinds = map[string]core.HostKind{
+	"reference": core.HostReference,
+	"nex":       core.HostNEX,
+	"gem5":      core.HostGem5,
+}
+
+var accelKinds = map[string]core.AccelKind{
+	"dsim": core.AccelDSim,
+	"rtl":  core.AccelRTL,
+}
+
+var syncModes = map[string]nex.SyncMode{
+	"lazy":   nex.Lazy,
+	"eager":  nex.Eager,
+	"hybrid": nex.Hybrid,
+}
+
+var dmaTargets = map[string]core.DMALevel{
+	"llc": core.DMALLC,
+	"l2":  core.DMAL2,
+}
+
+// Normalized validates s and returns a copy with every defaulted field
+// made explicit — the canonical form that ID() hashes and RunSpec
+// executes. The zero-valued and the explicit-default spelling of the
+// same run normalize identically.
+func (s Spec) Normalized() (Spec, error) {
+	b, err := workloads.ByName(s.Bench)
+	if err != nil {
+		return Spec{}, err
+	}
+	if s.Host == "" {
+		s.Host = core.HostNEX.String()
+	}
+	if _, ok := hostKinds[s.Host]; !ok {
+		return Spec{}, fmt.Errorf("experiments: unknown host %q (want reference, nex, or gem5)", s.Host)
+	}
+	if s.Accel == "" {
+		s.Accel = core.AccelDSim.String()
+	}
+	if _, ok := accelKinds[s.Accel]; !ok {
+		return Spec{}, fmt.Errorf("experiments: unknown accel %q (want dsim or rtl)", s.Accel)
+	}
+	if s.SyncMode == "" {
+		s.SyncMode = "lazy"
+	}
+	if _, ok := syncModes[s.SyncMode]; !ok {
+		return Spec{}, fmt.Errorf("experiments: unknown sync_mode %q (want lazy, eager, or hybrid)", s.SyncMode)
+	}
+	if s.DMATarget == "" {
+		s.DMATarget = "llc"
+	}
+	if _, ok := dmaTargets[s.DMATarget]; !ok {
+		return Spec{}, fmt.Errorf("experiments: unknown dma_target %q (want llc or l2)", s.DMATarget)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"cores", int64(s.Cores)}, {"devices", int64(s.Devices)},
+		{"clock_mhz", s.ClockMHz}, {"accel_clock_mhz", s.AccelClockMHz},
+		{"epoch_ns", s.EpochNS}, {"virtual_cores", int64(s.VirtualCores)},
+		{"physical_cores", int64(s.PhysicalCores)}, {"sync_interval_ns", s.SyncIntervalNS},
+		{"link_latency_ns", s.LinkLatencyNS},
+	} {
+		if f.v < 0 {
+			return Spec{}, fmt.Errorf("experiments: spec field %s must not be negative", f.name)
+		}
+	}
+	if s.Cores == 0 {
+		s.Cores = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Devices == 0 {
+		s.Devices = b.Devices
+	}
+	if s.ClockMHz == 0 {
+		s.ClockMHz = int64(3 * vclock.GHz / vclock.MHz)
+	}
+	if s.AccelClockMHz == 0 {
+		s.AccelClockMHz = int64(2 * vclock.GHz / vclock.MHz)
+	}
+	if s.LinkLatencyNS == 0 {
+		s.LinkLatencyNS = int64(defaultFabric(b.Model).LinkLatency / vclock.Nanosecond)
+	}
+	return s, nil
+}
+
+// CanonicalJSON returns the canonical encoding of the normalized spec:
+// a single deterministic JSON object (fixed field order, explicit
+// defaults) suitable for hashing and for byte-compare caching.
+func (s Spec) CanonicalJSON() ([]byte, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// ID returns the spec's content address: the hex SHA-256 of its
+// canonical encoding.
+func (s Spec) ID() (string, error) {
+	data, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// defaultFabric mirrors core.Build's per-accelerator attachment default
+// (on-chip for Protoacc, PCIe otherwise) so normalization can make the
+// implied link latency explicit.
+func defaultFabric(model core.AccelModel) interconnect.Config {
+	if model == core.AccelProtoacc {
+		return interconnect.OnChip4
+	}
+	return interconnect.PCIe400
+}
+
+// RunSpec executes one spec to completion and returns the engine
+// result. It is the structured twin of the table experiments' internal
+// run helper: the daemon submits Specs over HTTP, experiments enumerate
+// them in code, and both execute through this one path.
+func RunSpec(s Spec) (core.Result, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return runNormalized(n), nil
+}
+
+// RunSpecs validates every spec up front, executes them through the
+// sweep executor (respecting SetParallelism, like every experiment),
+// and returns results in spec order.
+func RunSpecs(specs []Spec) ([]core.Result, error) {
+	norm := make([]Spec, len(specs))
+	for i, s := range specs {
+		n, err := s.Normalized()
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		norm[i] = n
+	}
+	jobs := make([]func() core.Result, len(norm))
+	for i := range norm {
+		n := norm[i]
+		jobs[i] = func() core.Result { return runNormalized(n) }
+	}
+	return runJobs(jobs), nil
+}
+
+// runNormalized assembles and runs one already-normalized spec.
+func runNormalized(n Spec) core.Result {
+	b := benchByName(n.Bench)
+	cfg := core.Config{
+		Host:       hostKinds[n.Host],
+		Accel:      accelKinds[n.Accel],
+		Model:      b.Model,
+		Devices:    n.Devices,
+		Cores:      n.Cores,
+		Seed:       n.Seed,
+		Clock:      vclock.Hz(n.ClockMHz) * vclock.MHz,
+		AccelClock: vclock.Hz(n.AccelClockMHz) * vclock.MHz,
+		DMATarget:  dmaTargets[n.DMATarget],
+		NEXNoTick:  n.NoTick,
+		UseChannel: n.UseChannel,
+	}
+	if lat := vclock.Duration(n.LinkLatencyNS) * vclock.Nanosecond; lat != defaultFabric(b.Model).LinkLatency {
+		fab := defaultFabric(b.Model).WithLatency(lat)
+		cfg.Fabric = &fab
+	}
+	cfg.NEX.Epoch = vclock.Duration(n.EpochNS) * vclock.Nanosecond
+	cfg.NEX.VirtualCores = n.VirtualCores
+	cfg.NEX.PhysicalCores = n.PhysicalCores
+	cfg.NEX.Mode = syncModes[n.SyncMode]
+	cfg.NEX.SyncInterval = vclock.Duration(n.SyncIntervalNS) * vclock.Nanosecond
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	return sys.Run(prog)
+}

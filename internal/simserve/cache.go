@@ -1,0 +1,59 @@
+package simserve
+
+import "container/list"
+
+// cacheEntry is one completed job's canonical result, keyed by the
+// spec's content address. failed results are cached too: failures are
+// as deterministic as successes (same spec, same panic), so retrying
+// them would burn a worker to learn nothing new.
+type cacheEntry struct {
+	id     string
+	result []byte // canonical JobResult JSON
+	failed bool
+}
+
+// lruCache is a bounded most-recently-used result cache. Not safe for
+// concurrent use; the server guards it with its own lock.
+type lruCache struct {
+	limit     int
+	order     *list.List               // front = most recent
+	byID      map[string]*list.Element // value: *cacheEntry
+	evictions int64
+}
+
+func newLRUCache(limit int) *lruCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &lruCache{limit: limit, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// get returns the entry for id, marking it most recently used.
+func (c *lruCache) get(id string) (*cacheEntry, bool) {
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts or refreshes an entry, evicting the least recently used
+// entry when over the limit.
+func (c *lruCache) put(e *cacheEntry) {
+	if el, ok := c.byID[e.id]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byID[e.id] = c.order.PushFront(e)
+	for c.order.Len() > c.limit {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byID, oldest.Value.(*cacheEntry).id)
+		c.evictions++
+	}
+}
+
+// len reports the number of cached results.
+func (c *lruCache) len() int { return c.order.Len() }

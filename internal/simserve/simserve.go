@@ -1,0 +1,458 @@
+// Package simserve exposes the deterministic simulation engines as a
+// long-running service: a bounded job queue and worker pool over
+// internal/sweep, content-addressed result caching, singleflight
+// deduplication of identical in-flight runs, and an operational HTTP
+// surface (/jobs, /healthz, /metrics) served by cmd/simd.
+//
+// The paper's interactive workloads (§6.4 design sweeps, what-if
+// epoch/latency exploration) are repeated queries over a small space of
+// run configurations. A one-shot CLI redoes the full simulation for
+// every question; a service answers a repeated question from cache.
+// What makes that sound is determinism, which this repository enforces
+// statically (simlint) and at runtime (byte-identical table tests): a
+// run is a pure function of its experiments.Spec, so the spec's
+// canonical-encoding SHA-256 is a true content address for its result
+// and a cached result is byte-identical to a fresh run.
+//
+// Request flow: each submitted spec is normalized, addressed, and then
+// either served from the LRU result cache (cache hit), attached to an
+// identical run already queued or executing (singleflight dedup), or
+// enqueued onto the bounded worker pool. A full queue sheds load with
+// HTTP 429 instead of buffering without limit. Shutdown drains: queued
+// and in-flight runs complete (their results land in the cache) before
+// Close returns.
+package simserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"nexsim/internal/accel"
+	"nexsim/internal/core"
+	"nexsim/internal/experiments"
+	"nexsim/internal/nex"
+	"nexsim/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Backlog bounds the job queue; a submit finding it full is refused
+	// with 429 (default 64).
+	Backlog int
+	// CacheEntries bounds the result cache (default 1024).
+	CacheEntries int
+	// WaitTimeout caps how long a wait=true submit blocks before
+	// degrading to a 202 + poll response (default 60s).
+	WaitTimeout time.Duration
+	// Runner executes one normalized spec (default: experiments.RunSpec).
+	// Tests inject instrumented runners here.
+	Runner func(experiments.Spec) (core.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 60 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = func(s experiments.Spec) (core.Result, error) { return experiments.RunSpec(s) }
+	}
+	return c
+}
+
+// JobResult is the canonical, fully deterministic record of one
+// completed run — the bytes the cache stores and every response
+// carries. Wall-clock time is deliberately absent (it varies run to
+// run and would break cached-vs-fresh byte identity); serving-side
+// wall times feed the /metrics histograms instead.
+type JobResult struct {
+	ID        string              `json:"id"`
+	Spec      experiments.Spec    `json:"spec"`
+	SimTimePS int64               `json:"sim_time_ps"`
+	SimTime   string              `json:"sim_time"`
+	NEXStats  nex.Stats           `json:"nex_stats"`
+	Devices   []accel.DeviceStats `json:"devices,omitempty"`
+	Error     string              `json:"error,omitempty"`
+}
+
+// Job states reported on /jobs.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull    = errors.New("simserve: job queue full")
+	ErrShuttingDown = errors.New("simserve: shutting down")
+)
+
+// job is one in-flight or just-completed run. done is closed after
+// result/failed/status are final; until then those fields are guarded
+// by the server lock.
+type job struct {
+	id     string
+	spec   experiments.Spec // normalized
+	done   chan struct{}
+	status string
+	result []byte
+	failed bool
+}
+
+// closedDone is the pre-closed channel completed-on-arrival jobs
+// (cache hits) carry.
+var closedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Server is the simulation-as-a-service engine front end.
+type Server struct {
+	cfg  Config
+	pool *sweep.Pool
+
+	mu     sync.Mutex
+	jobs   map[string]*job // in-flight, by content address
+	cache  *lruCache
+	m      *metrics
+	closed bool
+}
+
+// New starts a server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  sweep.NewPool(cfg.Workers, cfg.Backlog),
+		jobs:  map[string]*job{},
+		cache: newLRUCache(cfg.CacheEntries),
+		m:     newMetrics(),
+	}
+}
+
+// Workers reports the worker-pool size.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Close stops accepting new jobs, drains queued and in-flight runs to
+// completion, and returns. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+}
+
+// submit routes one spec: cache hit, singleflight attach, or fresh
+// enqueue. Any returned job either is done or will close done when it
+// is.
+func (s *Server) submit(raw experiments.Spec) (*job, error) {
+	n, err := raw.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	id, err := n.ID()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache.get(id); ok {
+		s.m.cacheHits++
+		st := StatusDone
+		if e.failed {
+			st = StatusFailed
+		}
+		return &job{id: id, spec: n, done: closedDone, status: st,
+			result: e.result, failed: e.failed}, nil
+	}
+	if j, ok := s.jobs[id]; ok {
+		s.m.jobsDeduped++
+		return j, nil
+	}
+	s.m.cacheMisses++
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	j := &job{id: id, spec: n, done: make(chan struct{}), status: StatusQueued}
+	if !s.pool.TrySubmit(func() { s.run(j) }) {
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.m.jobsSubmitted++
+	return j, nil
+}
+
+// run executes one fresh job on a pool worker and publishes its result.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	s.m.workersBusy++
+	s.mu.Unlock()
+
+	start := time.Now()
+	res, err := s.safeRun(j.spec)
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	jr := JobResult{ID: j.id, Spec: j.spec}
+	if err != nil {
+		jr.Error = err.Error()
+	} else {
+		jr.SimTimePS = int64(res.SimTime)
+		jr.SimTime = res.SimTime.String()
+		jr.NEXStats = res.NEXStats
+		jr.Devices = res.Devices
+	}
+	data, merr := json.Marshal(jr)
+	if merr != nil {
+		jr = JobResult{ID: j.id, Spec: j.spec, Error: merr.Error()}
+		data, _ = json.Marshal(jr)
+	}
+
+	s.mu.Lock()
+	j.result = data
+	j.failed = jr.Error != ""
+	if j.failed {
+		j.status = StatusFailed
+		s.m.jobsFailed++
+	} else {
+		j.status = StatusDone
+		s.m.jobsCompleted++
+	}
+	s.cache.put(&cacheEntry{id: j.id, result: data, failed: j.failed})
+	delete(s.jobs, j.id)
+	s.m.workersBusy--
+	s.m.observeRun(j.spec.Bench, wallMS)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// safeRun shields the worker pool from a panicking engine: a bad spec
+// must fail its own job, not the daemon.
+func (s *Server) safeRun(spec experiments.Spec) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run panicked: %v", r)
+		}
+	}()
+	return s.cfg.Runner(spec)
+}
+
+// lookup finds a job's current status and (when finished) result.
+func (s *Server) lookup(id string) (status string, result []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, found := s.jobs[id]; found {
+		return j.status, nil, true
+	}
+	if e, found := s.cache.get(id); found {
+		if e.failed {
+			return StatusFailed, e.result, true
+		}
+		return StatusDone, e.result, true
+	}
+	return "", nil, false
+}
+
+// --- HTTP surface ---
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Specs []experiments.Spec `json:"specs"`
+	// Wait blocks until every spec has a result (bounded by the
+	// server's WaitTimeout) and returns results in spec order.
+	Wait bool `json:"wait"`
+}
+
+// jobStatus is one entry of an async (or timed-out) submit response.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// maxBatch bounds specs per request; bigger sweeps should batch.
+const maxBatch = 4096
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write([]byte("ok\n")); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	depth, capacity, workers := s.pool.Depth(), s.pool.Capacity(), s.pool.Workers()
+	s.mu.Lock()
+	s.m.render(&buf, depth, capacity, workers, s.cache.len(), s.cache.evictions)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "no specs submitted")
+		return
+	}
+	if len(req.Specs) > maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d specs exceeds the %d-spec limit", len(req.Specs), maxBatch))
+		return
+	}
+
+	jobs := make([]*job, 0, len(req.Specs))
+	for i, spec := range req.Specs {
+		j, err := s.submit(spec)
+		switch {
+		case err == nil:
+			jobs = append(jobs, j)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("spec %d: job queue full (accepted %d of %d specs; resubmit the rest)",
+					i, len(jobs), len(req.Specs)))
+			return
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+	}
+
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, s.statusEnvelope(jobs))
+		return
+	}
+
+	deadline := time.Now().Add(s.cfg.WaitTimeout)
+	results := make([]json.RawMessage, len(jobs))
+	for i, j := range jobs {
+		remaining := time.Until(deadline)
+		if remaining <= 0 || !waitDone(j, remaining) {
+			// Timed out: everything is still queued/running; hand the
+			// client the job IDs to poll.
+			writeJSON(w, http.StatusAccepted, s.statusEnvelope(jobs))
+			return
+		}
+		s.mu.Lock()
+		results[i] = j.result
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []json.RawMessage `json:"results"`
+	}{results})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, result, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID     string          `json:"id"`
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result,omitempty"`
+	}{id, status, result})
+}
+
+// statusEnvelope snapshots per-job statuses for async responses.
+func (s *Server) statusEnvelope(jobs []*job) any {
+	statuses := make([]jobStatus, len(jobs))
+	s.mu.Lock()
+	for i, j := range jobs {
+		statuses[i] = jobStatus{ID: j.id, Status: j.status}
+	}
+	s.mu.Unlock()
+	return struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{statuses}
+}
+
+// waitDone waits for j to finish, up to d.
+func waitDone(j *job, d time.Duration) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	data, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		http.Error(w, msg, code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the executor's queue-feeding mode: a long-lived worker pool
+// fed one job at a time through a bounded queue, for callers that
+// receive work over time (the simserve daemon) rather than enumerating
+// it up front (Map/Run). The queue bound is the backpressure surface —
+// TrySubmit refuses instead of blocking when it is full, so a server
+// can shed load (HTTP 429) rather than buffer without limit.
+//
+// Like Map, each job runs exactly once on exactly one worker; jobs must
+// be independent (every simulation builds its own System). Unlike Map,
+// a panicking job takes the daemon down: long-running services must not
+// limp on with a dead worker, and callers that want containment wrap
+// their jobs with recover.
+type Pool struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (n <= 0 selects
+// runtime.GOMAXPROCS(0)) and queue capacity (backlog < 0 is treated as
+// 0, where a submit only succeeds while a worker is blocked on
+// receive).
+func NewPool(workers, backlog int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &Pool{workers: workers, jobs: make(chan func(), backlog)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job without blocking. It returns false when the
+// queue is full or the pool is closed — the caller's signal to shed
+// load.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth reports the number of queued (not yet started) jobs.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Capacity reports the queue bound.
+func (p *Pool) Capacity() int { return cap(p.jobs) }
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting jobs, drains everything already queued, waits
+// for in-flight jobs to finish, and returns. Safe to call more than
+// once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatal("TrySubmit refused with free backlog")
+		}
+	}
+	p.Close()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d jobs, want 50", ran.Load())
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Occupy the single worker and wait until it has dequeued the job.
+	if !p.TrySubmit(func() { defer wg.Done(); close(started); <-block }) {
+		t.Fatal("first submit refused")
+	}
+	<-started
+	// Fill the single backlog slot.
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("backlog submit refused with a free slot")
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", p.Depth())
+	}
+	// Worker busy + backlog full: the next submit must be refused.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted a job beyond the queue bound")
+	}
+	close(block)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolCloseDrainsQueued(t *testing.T) {
+	p := NewPool(1, 8)
+	block := make(chan struct{})
+	var ran atomic.Int64
+	p.TrySubmit(func() { <-block; ran.Add(1) })
+	for i := 0; i < 5; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatal("submit refused with free backlog")
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	close(block)
+	<-done
+	if ran.Load() != 6 {
+		t.Fatalf("Close drained %d jobs, want 6", ran.Load())
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted a job after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, -1)
+	if p.Workers() < 1 {
+		t.Fatal("default worker count not positive")
+	}
+	if p.Capacity() != 0 {
+		t.Fatalf("Capacity = %d, want 0", p.Capacity())
+	}
+	p.Close()
+}

@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the simd daemon over a real
+# TCP socket (the in-process httptest coverage lives in
+# internal/simserve). It proves the acceptance loop of the serving
+# layer: start simd on an ephemeral port, submit a cheap job twice,
+# assert both responses are 200 and byte-identical (the second served
+# from cache, per /metrics), then shut down gracefully via SIGTERM and
+# assert a clean exit. Run as `make serve-smoke`.
+set -eu
+
+TMPDIR_SMOKE="$(mktemp -d)"
+SIMD_PID=""
+cleanup() {
+    status=$?
+    if [ -n "$SIMD_PID" ] && kill -0 "$SIMD_PID" 2>/dev/null; then
+        kill "$SIMD_PID" 2>/dev/null || true
+        wait "$SIMD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMPDIR_SMOKE"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building simd"
+go build -o "$TMPDIR_SMOKE/simd" ./cmd/simd
+
+PORTFILE="$TMPDIR_SMOKE/addr"
+"$TMPDIR_SMOKE/simd" -addr 127.0.0.1:0 -portfile "$PORTFILE" \
+    2>"$TMPDIR_SMOKE/simd.log" &
+SIMD_PID=$!
+
+# Wait (up to ~5s) for the daemon to write its bound address.
+i=0
+while [ ! -s "$PORTFILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: simd never wrote $PORTFILE" >&2
+        cat "$TMPDIR_SMOKE/simd.log" >&2 || true
+        exit 1
+    fi
+    if ! kill -0 "$SIMD_PID" 2>/dev/null; then
+        echo "serve-smoke: simd exited early" >&2
+        cat "$TMPDIR_SMOKE/simd.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+ADDR="$(cat "$PORTFILE")"
+echo "serve-smoke: simd up on $ADDR"
+
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+# Submit the same cheap spec twice with wait=true. The first run is a
+# cache miss that executes the engine; the second must be a cache hit
+# with a byte-identical body (determinism makes the spec's content
+# address a true key for its result).
+BODY='{"specs":[{"bench":"npb-ep.8","epoch_ns":1000}],"wait":true}'
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" \
+    "http://$ADDR/jobs" >"$TMPDIR_SMOKE/run1.json"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" \
+    "http://$ADDR/jobs" >"$TMPDIR_SMOKE/run2.json"
+
+if ! cmp -s "$TMPDIR_SMOKE/run1.json" "$TMPDIR_SMOKE/run2.json"; then
+    echo "serve-smoke: FAIL cached response differs from fresh run" >&2
+    diff "$TMPDIR_SMOKE/run1.json" "$TMPDIR_SMOKE/run2.json" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: resubmitted spec byte-identical to fresh run"
+
+curl -fsS "http://$ADDR/metrics" >"$TMPDIR_SMOKE/metrics.txt"
+grep -q '^simserve_cache_hits 1$' "$TMPDIR_SMOKE/metrics.txt" || {
+    echo "serve-smoke: FAIL expected exactly one cache hit" >&2
+    cat "$TMPDIR_SMOKE/metrics.txt" >&2
+    exit 1
+}
+grep -q '^simserve_cache_misses 1$' "$TMPDIR_SMOKE/metrics.txt" || {
+    echo "serve-smoke: FAIL expected exactly one cache miss" >&2
+    cat "$TMPDIR_SMOKE/metrics.txt" >&2
+    exit 1
+}
+echo "serve-smoke: /metrics shows 1 miss (engine run) + 1 hit (cache)"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SIMD_PID"
+if ! wait "$SIMD_PID"; then
+    echo "serve-smoke: FAIL simd exited nonzero on SIGTERM" >&2
+    cat "$TMPDIR_SMOKE/simd.log" >&2 || true
+    exit 1
+fi
+SIMD_PID=""
+echo "serve-smoke: PASS"
