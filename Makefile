@@ -24,6 +24,6 @@ serve-smoke:
 bench:
 	go test -run xxx -bench . -benchtime 100ms ./internal/lpn/ ./internal/simbricks/
 	go test -run xxx -bench . -benchtime 1x ./...
-	go run ./cmd/paperbench -exp all -json BENCH_pr3.json
+	go run ./cmd/paperbench -exp all -checkpoints -json BENCH_pr6.json
 
 .PHONY: lint check bench serve-smoke

@@ -187,6 +187,61 @@ func BenchmarkTightVsChannel_VTAMatmul(b *testing.B) {
 	}
 }
 
+// --- Checkpoint/fork engine: snapshot a halted prefix into a blob and
+// fork fresh systems from it. Snapshot is a pure serialization of the
+// halted engine; Restore rebuilds thread state by journal replay, so its
+// cost is dominated by re-executing the (short) staging prefix. Both
+// report allocations and the blob size. ---
+
+// checkpointPrefix builds a system and runs it up to its first device
+// interaction, leaving it halted and checkpointable.
+func checkpointPrefix(b *testing.B) (*core.System, core.Config, workloads.Bench) {
+	b.Helper()
+	bench, err := workloads.ByName("protoacc-bench0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+		Model: bench.Model, Devices: bench.Devices, Cores: 16, Seed: 42}
+	sys := core.Build(cfg)
+	if _, completed := sys.RunPrefix(bench.Build(&sys.Ctx)); completed {
+		b.Fatal("prefix ran to completion; nothing to snapshot")
+	}
+	return sys, cfg, bench
+}
+
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	sys, _, _ := checkpointPrefix(b)
+	var blob []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blob, err = sys.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "blob-bytes")
+}
+
+func BenchmarkCheckpointRestore(b *testing.B) {
+	psys, cfg, bench := checkpointPrefix(b)
+	blob, err := psys.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := core.Build(cfg)
+		if err := sys.RestoreCheckpoint(blob, bench.Build(&sys.Ctx)); err != nil {
+			b.Fatal(err)
+		}
+		sys.Release()
+	}
+	b.ReportMetric(float64(len(blob)), "blob-bytes")
+}
+
 // --- Sweep executor: the same experiment serially and with 4 workers.
 // On a multicore host the parallel target approaches a len(jobs)-bounded
 // fraction of the serial wall time; on a single core it tracks the

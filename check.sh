@@ -24,7 +24,12 @@ go test ./...
 # under race here too.
 go test -race ./internal/...
 
+# Checkpoint determinism smoke: the same experiment with and without
+# -checkpoints must print byte-identical output (forked runs restore
+# engine snapshots; any snapshot/replay drift shows up as a byte diff).
+sh scripts/ckpt_smoke.sh
+
 # End-to-end serving smoke: simd on an ephemeral port, a cheap job
 # submitted twice, byte-identical cache hit on the resubmit (verified
-# against /metrics), graceful SIGTERM drain.
+# against /metrics), graceful SIGTERM drain and portfile removal.
 sh scripts/serve_smoke.sh

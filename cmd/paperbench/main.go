@@ -49,6 +49,8 @@ func main() {
 			"workers for each experiment's simulation jobs (1 = serial)")
 		jsonPath = flag.String("json", "",
 			"write per-experiment wall time and headline metrics to this file as a JSON array")
+		checkpoints = flag.Bool("checkpoints", false,
+			"fork sweep points from shared prefix snapshots (same tables, less wall time)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 	}
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetCheckpoints(*checkpoints)
 
 	var report []jsonEntry
 	run := func(e experiments.Experiment) {

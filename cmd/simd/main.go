@@ -49,6 +49,8 @@ func main() {
 			"cap on connection draining during shutdown")
 		portFile = flag.String("portfile", "",
 			"write the bound host:port to this file once listening (for scripts)")
+		checkpoints = flag.Bool("checkpoints", false,
+			"fork sweep jobs from cached prefix snapshots (byte-identical results)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 		Backlog:      *backlog,
 		CacheEntries: *cacheEntries,
 		WaitTimeout:  *waitTimeout,
+		Checkpoints:  *checkpoints,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -96,5 +99,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
 	}
 	srv.Close()
+	if *portFile != "" {
+		// Remove the advertisement so wrappers polling the file do not
+		// connect to a dead (or recycled) address after we exit.
+		if err := os.Remove(*portFile); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "simd: drained, exiting")
 }

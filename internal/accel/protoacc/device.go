@@ -116,6 +116,7 @@ type Device struct {
 	submitTime  map[int64]vclock.Time
 
 	extraDMABytes int64
+	scratch       []byte // reusable plan-hash buffer
 }
 
 // TaskSpan is one task's lifetime.
@@ -199,7 +200,7 @@ func NewDevice(clk vclock.Hz) *Device {
 		}),
 		lpnlang.Servers(0),
 		lpnlang.AlsoConsume(pool, 1),
-		lpnlang.AlsoProduce(pool, lpnlang.ReturnCredit))
+		lpnlang.AlsoRelease(pool))
 
 	// Data-bearing fields: fetch the payload first (content filling);
 	// the load unit blocks on its response, like the object fetchers.
@@ -221,7 +222,7 @@ func NewDevice(clk vclock.Hz) *Device {
 		}),
 		lpnlang.Servers(0),
 		lpnlang.AlsoConsume(pool, 1),
-		lpnlang.AlsoProduce(pool, lpnlang.ReturnCredit))
+		lpnlang.AlsoRelease(pool))
 
 	// Field completion accounting.
 	b.Stage("account", fieldDone, nil, nil,
@@ -351,12 +352,8 @@ func (d *Device) startTask(at vclock.Time, descAddr mem.Addr) {
 		panic(fmt.Sprintf("protoacc: unregistered schema %d", desc.Schema))
 	}
 
-	read := func(addr mem.Addr, size int) []byte {
-		buf := make([]byte, size)
-		d.Host.ZeroCostRead(addr, buf)
-		return buf
-	}
-	plan := buildPlan(read, read, desc.Root, desc.Out, schema)
+	plan, scratch := cachedPlan(d.Host, desc.Root, desc.Out, schema, d.scratch)
+	d.scratch = scratch
 
 	// Table entries: the descriptor pseudo-node chains to the root
 	// message node; message nodes chain to their submessages.

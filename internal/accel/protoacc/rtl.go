@@ -52,6 +52,8 @@ type RTLDevice struct {
 	// TaskLatency mirrors the DSim device's per-task latency log.
 	TaskLatency []TaskSpan
 	submitTime  map[int64]vclock.Time
+
+	scratch []byte // reusable plan-hash buffer
 }
 
 type rtlObj struct {
@@ -311,12 +313,8 @@ func (d *RTLDevice) startTask(at vclock.Time, descAddr mem.Addr) {
 		panic(fmt.Sprintf("protoacc-rtl: unregistered schema %d", desc.Schema))
 	}
 
-	read := func(addr mem.Addr, size int) []byte {
-		buf := make([]byte, size)
-		d.host.ZeroCostRead(addr, buf)
-		return buf
-	}
-	plan := buildPlan(read, read, desc.Root, desc.Out, schema)
+	plan, scratch := cachedPlan(d.host, desc.Root, desc.Out, schema, d.scratch)
+	d.scratch = scratch
 
 	total := int64(len(plan.nodes)) + 1
 	for _, n := range plan.nodes {

@@ -73,14 +73,16 @@ func (c *Core) Gemm(i *Instr) error {
 		inRow := c.Input[int(i.InBase)+mi*k : int(i.InBase)+mi*k+k]
 		accRow := c.Acc[int(i.AccBase)+mi*n:]
 		for ni := 0; ni < n; ni++ {
-			wgtRow := c.Weight[int(i.WgtBase)+ni*k : int(i.WgtBase)+ni*k+k]
+			wgtRow := c.Weight[int(i.WgtBase)+ni*k : int(i.WgtBase)+ni*k+k : int(i.WgtBase)+ni*k+k]
 			var s0, s1, s2, s3 int32
 			ki := 0
-			for ; ki+4 <= k; ki += 4 {
-				s0 += int32(inRow[ki]) * int32(wgtRow[ki])
-				s1 += int32(inRow[ki+1]) * int32(wgtRow[ki+1])
-				s2 += int32(inRow[ki+2]) * int32(wgtRow[ki+2])
-				s3 += int32(inRow[ki+3]) * int32(wgtRow[ki+3])
+			for ; ki+8 <= k; ki += 8 {
+				w := wgtRow[ki : ki+8 : ki+8]
+				r := inRow[ki : ki+8 : ki+8]
+				s0 += int32(r[0])*int32(w[0]) + int32(r[4])*int32(w[4])
+				s1 += int32(r[1])*int32(w[1]) + int32(r[5])*int32(w[5])
+				s2 += int32(r[2])*int32(w[2]) + int32(r[6])*int32(w[6])
+				s3 += int32(r[3])*int32(w[3]) + int32(r[7])*int32(w[7])
 			}
 			sum := s0 + s1 + s2 + s3
 			for ; ki < k; ki++ {

@@ -85,6 +85,113 @@ func instrCycles(i *Instr) int64 {
 	}
 }
 
+// zeroCostReader is the slice of the host interface the plan cache
+// needs.
+type zeroCostReader interface {
+	ZeroCostRead(addr mem.Addr, p []byte)
+}
+
+// vtaPlan is a memoized master copy of the per-module op lists for one
+// (program bytes, input data) pair — program bytes include the DRAM
+// placement, so the DMA address plan is pinned by the key. Masters carry
+// task id 0 and no fetch gate; callers append value copies and stamp
+// those (appendStamped), never the master.
+type vtaPlan struct {
+	loads, computes, stores []planOp
+}
+
+// fullPlanCache memoizes assembled plans. Distinct from planCache below:
+// planCache shares functional interpretation across *placements* (its
+// key skips DRAM fields), while this cache shares the whole decoded op
+// list when placement also matches — the common case for repeated runs,
+// checkpoint replays, and sweep points over one staged workload.
+var fullPlanCache = struct {
+	sync.Mutex
+	m map[uint64]*vtaPlan
+}{m: make(map[uint64]*vtaPlan)}
+
+// planScratch holds the reusable buffers for the plan-cache hash pass.
+type planScratch struct {
+	prog, data []byte
+}
+
+func grown(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n+n/2+64)
+	}
+	return buf[:cap(buf)]
+}
+
+// cachedPlan returns the (shared, read-only) master plan for desc,
+// building and caching it on first sight. The hash pass reads the
+// program and every LOAD payload through scratch, so a cache hit
+// allocates nothing proportional to the task.
+func cachedPlan(host zeroCostReader, desc Desc, s planScratch) (*vtaPlan, planScratch, error) {
+	progLen := int(desc.Count) * InstrSize
+	s.prog = grown(s.prog, progLen)
+	host.ZeroCostRead(desc.Prog, s.prog[:progLen])
+	key := fnv64(0, s.prog[:progLen])
+	for idx := 0; idx < int(desc.Count); idx++ {
+		i, err := DecodeInstr(s.prog[idx*InstrSize : (idx+1)*InstrSize])
+		if err != nil {
+			return nil, s, err
+		}
+		if i.Op != OpLoad {
+			continue
+		}
+		elemSize := 1
+		if i.Buf == BufAcc {
+			elemSize = 4
+		}
+		rowBytes := int(i.Cols) * elemSize
+		if i.Stride == 0 || int(i.Stride) == rowBytes {
+			n := int(i.Rows) * rowBytes
+			s.data = grown(s.data, n)
+			host.ZeroCostRead(mem.Addr(i.DRAM), s.data[:n])
+			key = fnv64(key, s.data[:n])
+		} else {
+			s.data = grown(s.data, rowBytes)
+			for r := 0; r < int(i.Rows); r++ {
+				host.ZeroCostRead(mem.Addr(i.DRAM)+mem.Addr(r*int(i.Stride)), s.data[:rowBytes])
+				key = fnv64(key, s.data[:rowBytes])
+			}
+		}
+	}
+	fullPlanCache.Lock()
+	plan, hit := fullPlanCache.m[key]
+	fullPlanCache.Unlock()
+	if !hit {
+		read := func(addr mem.Addr, size int) []byte {
+			buf := make([]byte, size)
+			host.ZeroCostRead(addr, buf)
+			return buf
+		}
+		loads, computes, stores, err := buildPlan(read, desc, 0)
+		if err != nil {
+			return nil, s, err
+		}
+		plan = &vtaPlan{loads: loads, computes: computes, stores: stores}
+		fullPlanCache.Lock()
+		fullPlanCache.m[key] = plan
+		fullPlanCache.Unlock()
+	}
+	return plan, s, nil
+}
+
+// appendStamped copies master ops onto dst, assigning the task id and
+// gating each copy on the instruction-fetch completion time.
+func appendStamped(dst, ops []planOp, task int64, fetchDone vclock.Time) []planOp {
+	base := len(dst)
+	dst = append(dst, ops...)
+	for i := base; i < len(dst); i++ {
+		dst[i].task = task
+		if dst[i].minStart < fetchDone {
+			dst[i].minStart = fetchDone
+		}
+	}
+	return dst
+}
+
 // planCache memoizes the functionality track's store payloads per
 // (program, input data) pair. The computed results are a pure function
 // of those inputs, and the same task streams are executed by the DSim
@@ -100,6 +207,15 @@ func fnv64(h uint64, data []byte) uint64 {
 	if h == 0 {
 		h = 14695981039346656037
 	}
+	// Mix eight bytes per multiply. The value is a process-local memo
+	// key — never serialized or compared across runs — so word-chunked
+	// FNV (different from canonical byte-at-a-time FNV-1a) is fine, and
+	// it makes hashing megabytes of LOAD payloads cheap.
+	for len(data) >= 8 {
+		h ^= binary.LittleEndian.Uint64(data)
+		h *= 1099511628211
+		data = data[8:]
+	}
 	for _, b := range data {
 		h ^= uint64(b)
 		h *= 1099511628211
@@ -109,9 +225,11 @@ func fnv64(h uint64, data []byte) uint64 {
 
 // buildPlan decodes and functionally executes an instruction stream,
 // returning per-module op lists. read is the functional memory access
-// (the caller decides whether it is recorded as a DMA trace).
+// (the caller decides whether it is recorded as a DMA trace); it must
+// return a fresh buffer the plan may retain. The functional core is
+// only allocated when the (program, data) pair has not run before.
 func buildPlan(read func(addr mem.Addr, size int) []byte,
-	core *Core, desc Desc, task int64) (loads, computes, stores []planOp, err error) {
+	desc Desc, task int64) (loads, computes, stores []planOp, err error) {
 
 	progBytes := read(desc.Prog, int(desc.Count)*InstrSize)
 
@@ -121,11 +239,19 @@ func buildPlan(read func(addr mem.Addr, size int) []byte,
 		data  []byte  // LOAD payload
 		dmas  []dmaOp // LOAD/STORE address plan
 	}
-	key := fnv64(0, progBytes)
+	// The store payloads are independent of where operands live in DRAM
+	// (LoadBytes consumes the gathered data; compute reads SRAM offsets
+	// only), so the memo key skips each instruction's DRAM field — layers
+	// with identical schedules and operand data share one interpretation
+	// even though their buffers sit at different arena offsets.
+	key := uint64(0)
 	ins := make([]decoded, desc.Count)
 	sawFinish := false
 	for idx := 0; idx < int(desc.Count); idx++ {
-		i, derr := DecodeInstr(progBytes[idx*InstrSize:])
+		ib := progBytes[idx*InstrSize : (idx+1)*InstrSize]
+		key = fnv64(key, ib[:8])
+		key = fnv64(key, ib[16:])
+		i, derr := DecodeInstr(ib)
 		if derr != nil {
 			return nil, nil, nil, derr
 		}
@@ -137,12 +263,13 @@ func buildPlan(read func(addr mem.Addr, size int) []byte,
 				elemSize = 4
 			}
 			rowBytes := int(i.Cols) * elemSize
-			data := make([]byte, int(i.Rows)*rowBytes)
+			var data []byte
 			if i.Stride == 0 || int(i.Stride) == rowBytes {
-				copy(data, read(mem.Addr(i.DRAM), len(data)))
+				data = read(mem.Addr(i.DRAM), int(i.Rows)*rowBytes)
 				d.dmas = append(d.dmas, dmaOp{kind: mem.Read,
 					addr: mem.Addr(i.DRAM), size: len(data)})
 			} else {
+				data = make([]byte, int(i.Rows)*rowBytes)
 				for r := 0; r < int(i.Rows); r++ {
 					a := mem.Addr(i.DRAM) + mem.Addr(r*int(i.Stride))
 					copy(data[r*rowBytes:], read(a, rowBytes))
@@ -169,6 +296,7 @@ func buildPlan(read func(addr mem.Addr, size int) []byte,
 	if hit {
 		payloads = cached
 	} else {
+		core := NewCore()
 		for idx := range ins {
 			i := &ins[idx].instr
 			switch i.Op {

@@ -29,6 +29,8 @@ type RTLDevice struct {
 	nextTask int64
 	stats    accel.DeviceStats
 	busyAt   vclock.Time
+
+	scratch planScratch // reusable plan-hash buffers
 }
 
 type rtlMod struct {
@@ -103,27 +105,16 @@ func (d *RTLDevice) startTask(at vclock.Time, descAddr mem.Addr) {
 	fetchDone := d.host.DMA(at, mem.Read, desc.Prog, int(desc.Count)*InstrSize)
 	d.stats.DMABytes += int64(DescSize + int(desc.Count)*InstrSize)
 
-	read := func(addr mem.Addr, size int) []byte {
-		buf := make([]byte, size)
-		d.host.ZeroCostRead(addr, buf)
-		return buf
-	}
-	core := NewCore()
-	loads, computes, stores, err := buildPlan(read, core, desc, task)
+	plan, scratch, err := cachedPlan(d.host, desc, d.scratch)
+	d.scratch = scratch
 	if err != nil {
 		panic("vta-rtl: " + err.Error())
 	}
-	stamp := func(ops []planOp) []planOp {
-		for i := range ops {
-			if ops[i].minStart < fetchDone {
-				ops[i].minStart = fetchDone
-			}
-		}
-		return ops
-	}
-	d.mods[0].ops = append(d.mods[0].ops, stamp(loads)...)
-	d.mods[1].ops = append(d.mods[1].ops, stamp(computes)...)
-	d.mods[2].ops = append(d.mods[2].ops, stamp(stores)...)
+	// Copies of the master ops are stamped with this task's id and
+	// gated on the instruction fetch; the shared master stays untouched.
+	d.mods[0].ops = appendStamped(d.mods[0].ops, plan.loads, task, fetchDone)
+	d.mods[1].ops = appendStamped(d.mods[1].ops, plan.computes, task, fetchDone)
+	d.mods[2].ops = appendStamped(d.mods[2].ops, plan.stores, task, fetchDone)
 	if c := d.cyclesAt(at); d.cycle < c {
 		d.cycle = c
 	}

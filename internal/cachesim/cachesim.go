@@ -10,6 +10,8 @@
 package cachesim
 
 import (
+	"sync"
+
 	"nexsim/internal/mem"
 	"nexsim/internal/memsys"
 	"nexsim/internal/vclock"
@@ -34,8 +36,10 @@ type Cache struct {
 	parent memsys.Port
 
 	sets     []set
+	slab     []line // backing store carved into per-set arrays on first touch
 	setMask  mem.Addr
 	lineBits uint
+	epoch    uint64 // generation stamp; lines from older epochs are invalid
 
 	lruClock int64
 
@@ -46,11 +50,37 @@ type Cache struct {
 	Writebacks int64
 }
 
+// line packs the tag, a recycling epoch, and the valid/dirty flags into
+// one word so a set's line array is 16 bytes per way: streaming workloads
+// touch every set of a large LLC once per run, so the footprint of this
+// struct is the dominant allocation of a whole simulation. The epoch lets
+// Recycle invalidate every line in O(1) — a line is live only when its
+// stamped epoch equals the cache's current one — so a pooled hierarchy
+// restarts cold without zeroing megabytes of slab.
 type line struct {
-	tag   mem.Addr
-	valid bool
-	dirty bool
-	lru   int64 // higher = more recent
+	tagbits uint64 // lineAddr<<18 | epoch<<2 | dirty<<1 | valid
+	lru     int64  // higher = more recent
+}
+
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+
+	epochShift = 2
+	epochBits  = 16
+	epochMask  = 1<<epochBits - 1
+	tagShift   = epochShift + epochBits
+	// maxTag bounds the packable line address: 46 tag bits cover 2^52
+	// bytes of simulated physical address space with 64-byte lines.
+	maxTag = 1<<(64-tagShift) - 1
+)
+
+func (l *line) dirty() bool   { return l.tagbits&lineDirty != 0 }
+func (l *line) tag() mem.Addr { return mem.Addr(l.tagbits >> tagShift) }
+
+// live reports whether the line is valid in the cache's current epoch.
+func (c *Cache) live(l *line) bool {
+	return l.tagbits&lineValid != 0 && l.tagbits>>epochShift&epochMask == c.epoch
 }
 
 type set struct {
@@ -77,10 +107,24 @@ func New(cfg Config, parent memsys.Port) *Cache {
 	if cfg.Pace == 0 {
 		cfg.Pace = 2 * vclock.Nanosecond
 	}
-	c := &Cache{cfg: cfg, parent: parent, sets: make([]set, nSets), setMask: mem.Addr(nSets - 1)}
-	for i := range c.sets {
-		c.sets[i].lines = make([]line, cfg.Assoc)
+	// Reuse a recycled cache of identical geometry when one is pooled:
+	// behaviorally indistinguishable from a fresh build (every line is
+	// invalid in the new epoch, stats are zero), but the slab and set
+	// arrays come for free.
+	pool.Lock()
+	if list := pool.m[cfg]; len(list) > 0 {
+		c := list[len(list)-1]
+		pool.m[cfg] = list[:len(list)-1]
+		pool.Unlock()
+		c.parent = parent
+		return c
 	}
+	pool.Unlock()
+	// Line arrays are allocated lazily on first touch of a set: a large
+	// LLC has tens of thousands of sets, most of which a short simulation
+	// never references, and every system build constructs a fresh
+	// hierarchy.
+	c := &Cache{cfg: cfg, parent: parent, sets: make([]set, nSets), setMask: mem.Addr(nSets - 1)}
 	for bits := cfg.LineSize; bits > 1; bits >>= 1 {
 		c.lineBits++
 	}
@@ -114,16 +158,34 @@ func (c *Cache) Access(at vclock.Time, kind mem.AccessKind, addr mem.Addr, size 
 
 func (c *Cache) accessLine(at vclock.Time, kind mem.AccessKind, lineAddr mem.Addr) vclock.Time {
 	s := &c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	if s.lines == nil {
+		// Carve the set's line array from a chunked slab: lazy (a short
+		// simulation touching few sets allocates little) without paying
+		// one allocation per set when a streaming workload sweeps the
+		// whole index space.
+		if len(c.slab) < c.cfg.Assoc {
+			n := 1024 * c.cfg.Assoc
+			if max := len(c.sets) * c.cfg.Assoc; n > max {
+				n = max
+			}
+			c.slab = make([]line, n)
+		}
+		s.lines = c.slab[:c.cfg.Assoc:c.cfg.Assoc]
+		c.slab = c.slab[c.cfg.Assoc:]
+	}
+	tag := lineAddr // full line address as tag (set bits redundant but harmless)
 	c.lruClock++
 
+	// A hit must match address, epoch, and the valid bit in one compare;
+	// only the dirty bit may differ.
+	want := uint64(tag)<<tagShift | c.epoch<<epochShift | lineValid
 	for i := range s.lines {
 		l := &s.lines[i]
-		if l.valid && l.tag == tag {
+		if l.tagbits&^lineDirty == want {
 			c.Hits++
 			l.lru = c.lruClock
 			if kind == mem.Write {
-				l.dirty = true
+				l.tagbits |= lineDirty
 			}
 			return at.Add(c.cfg.HitLatency)
 		}
@@ -134,7 +196,7 @@ func (c *Cache) accessLine(at vclock.Time, kind mem.AccessKind, lineAddr mem.Add
 	c.Misses++
 	victim := 0
 	for i := range s.lines {
-		if !s.lines[i].valid {
+		if !c.live(&s.lines[i]) {
 			victim = i
 			break
 		}
@@ -144,17 +206,24 @@ func (c *Cache) accessLine(at vclock.Time, kind mem.AccessKind, lineAddr mem.Add
 	}
 	fetchStart := at.Add(c.cfg.HitLatency)
 	v := &s.lines[victim]
-	if v.valid {
+	if c.live(v) {
 		c.Evictions++
-		if v.dirty {
+		if v.dirty() {
 			c.Writebacks++
 			// The writeback occupies the parent but does not delay the
 			// demand fetch's completion beyond the parent's own queueing.
-			c.parent.Access(fetchStart, mem.Write, v.tag<<c.lineBits, c.cfg.LineSize)
+			c.parent.Access(fetchStart, mem.Write, v.tag()<<c.lineBits, c.cfg.LineSize)
 		}
 	}
 	done := c.parent.Access(fetchStart, mem.Read, lineAddr<<c.lineBits, c.cfg.LineSize)
-	*v = line{tag: tag, valid: true, dirty: kind == mem.Write, lru: c.lruClock}
+	if tag > maxTag {
+		panic("cachesim: line address exceeds packed tag range")
+	}
+	tb := want
+	if kind == mem.Write {
+		tb |= lineDirty
+	}
+	*v = line{tagbits: tb, lru: c.lruClock}
 	return done
 }
 
@@ -174,17 +243,44 @@ func (c *Cache) Flush(at vclock.Time) vclock.Time {
 	for si := range c.sets {
 		for li := range c.sets[si].lines {
 			l := &c.sets[si].lines[li]
-			if l.valid && l.dirty {
+			if c.live(l) && l.dirty() {
 				c.Writebacks++
-				if d := c.parent.Access(at, mem.Write, l.tag<<c.lineBits, c.cfg.LineSize); d > done {
+				if d := c.parent.Access(at, mem.Write, l.tag()<<c.lineBits, c.cfg.LineSize); d > done {
 					done = d
 				}
 			}
-			l.valid = false
-			l.dirty = false
+			l.tagbits = 0
 		}
 	}
 	return done
+}
+
+// pool holds recycled caches per configuration. Building a hierarchy for
+// every sweep point allocates (and zeroes) megabytes of line slab; a
+// recycled cache reuses its slab and set arrays, made cold again by the
+// epoch bump, so repeated Build/Release cycles stop paying that cost.
+var pool = struct {
+	sync.Mutex
+	m map[Config][]*Cache
+}{m: make(map[Config][]*Cache)}
+
+// Recycle resets the cache to its just-built state (no live lines, zero
+// stats) and returns it to the construction pool. Nothing is written
+// back — the cache models timing only, and the caller is discarding the
+// whole simulated system. The cache must not be used after Recycle.
+func (c *Cache) Recycle() {
+	c.epoch++
+	if c.epoch > epochMask {
+		// Epoch exhausted: stale lines from 2^16 generations ago could
+		// alias the wrapped stamp, so retire this cache to the GC instead.
+		return
+	}
+	c.parent = nil
+	c.lruClock = 0
+	c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0
+	pool.Lock()
+	pool.m[c.cfg] = append(pool.m[c.cfg], c)
+	pool.Unlock()
 }
 
 // Typical level configurations used across the evaluation, loosely

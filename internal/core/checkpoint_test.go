@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/core"
+	"nexsim/internal/interconnect"
+	"nexsim/internal/workloads"
+)
+
+// buildSys assembles a system + program for one bench and config shaper.
+func buildSys(t *testing.T, bench string, shape func(*core.Config)) (*core.System, func() core.Result, string) {
+	t.Helper()
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+		Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42}
+	if shape != nil {
+		shape(&cfg)
+	}
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	return sys, func() core.Result { return sys.Run(prog) }, bench
+}
+
+// checkpointOf runs the prefix on a fresh system and returns its blob.
+func checkpointOf(t *testing.T, bench string, shape func(*core.Config)) []byte {
+	t.Helper()
+	b, _ := workloads.ByName(bench)
+	cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+		Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42}
+	if shape != nil {
+		shape(&cfg)
+	}
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	if _, completed := sys.RunPrefix(prog); completed {
+		t.Fatalf("%s: prefix ran to completion", bench)
+	}
+	blob, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatalf("%s: checkpoint: %v", bench, err)
+	}
+	return blob
+}
+
+// resumeFrom restores blob into a fresh system and runs it out.
+func resumeFrom(t *testing.T, blob []byte, bench string, shape func(*core.Config)) core.Result {
+	t.Helper()
+	b, _ := workloads.ByName(bench)
+	cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+		Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42}
+	if shape != nil {
+		shape(&cfg)
+	}
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	if err := sys.RestoreCheckpoint(blob, prog); err != nil {
+		t.Fatalf("%s: restore: %v", bench, err)
+	}
+	return sys.ResumeRun()
+}
+
+// sameRun compares everything except wall-clock.
+func sameRun(t *testing.T, label string, got, want core.Result) {
+	t.Helper()
+	if got.SimTime != want.SimTime {
+		t.Errorf("%s: SimTime %v, want %v", label, got.SimTime, want.SimTime)
+	}
+	if got.NEXStats != want.NEXStats {
+		t.Errorf("%s: NEXStats diverged:\n got  %+v\n want %+v", label, got.NEXStats, want.NEXStats)
+	}
+	if len(got.Devices) != len(want.Devices) {
+		t.Fatalf("%s: %d device stats, want %d", label, len(got.Devices), len(want.Devices))
+	}
+	for i := range got.Devices {
+		if got.Devices[i] != want.Devices[i] {
+			t.Errorf("%s: device %d stats diverged:\n got  %+v\n want %+v",
+				label, i, got.Devices[i], want.Devices[i])
+		}
+	}
+}
+
+// TestCheckpointResumeMatchesRun is the end-to-end fork differential:
+// prefix+checkpoint+restore+resume must equal a straight run on every
+// accelerator family.
+func TestCheckpointResumeMatchesRun(t *testing.T) {
+	for _, bench := range []string{"jpeg-decode", "vta-resnet18", "protoacc-bench0"} {
+		_, straight, _ := buildSys(t, bench, nil)
+		want := straight()
+		blob := checkpointOf(t, bench, nil)
+		got := resumeFrom(t, blob, bench, nil)
+		sameRun(t, bench, got, want)
+	}
+}
+
+// TestCheckpointSharedAcrossLateBinding: one prefix blob (taken on the
+// normalized configuration) must fork correctly into every late-binding
+// variant — different accelerator engine, DMA level, fabric, channel.
+func TestCheckpointSharedAcrossLateBinding(t *testing.T) {
+	const bench = "vta-resnet18"
+	blob := checkpointOf(t, bench, nil) // normalized: DSim, default fabric, LLC
+
+	onchip := interconnect.OnChip4
+	variants := []struct {
+		name  string
+		shape func(*core.Config)
+	}{
+		{"accel-rtl", func(c *core.Config) { c.Accel = core.AccelRTL }},
+		{"dma-l2", func(c *core.Config) { c.DMATarget = core.DMAL2 }},
+		{"fabric-onchip", func(c *core.Config) { c.Fabric = &onchip }},
+		{"channel", func(c *core.Config) { c.UseChannel = true }},
+	}
+	for _, v := range variants {
+		_, straight, _ := buildSys(t, bench, v.shape)
+		want := straight()
+		got := resumeFrom(t, blob, bench, v.shape)
+		sameRun(t, v.name, got, want)
+	}
+}
+
+// TestCheckpointContentAddressed: the blob is a sharing key — identical
+// prefixes hash identically.
+func TestCheckpointContentAddressed(t *testing.T) {
+	a := checkpointOf(t, "vta-resnet18", nil)
+	b := checkpointOf(t, "vta-resnet18", nil)
+	if checkpoint.Hash(a) != checkpoint.Hash(b) {
+		t.Fatal("identical prefixes produced different checkpoint hashes")
+	}
+	c := checkpointOf(t, "protoacc-bench0", nil)
+	if checkpoint.Hash(a) == checkpoint.Hash(c) {
+		t.Fatal("different prefixes collided")
+	}
+}
+
+func TestCheckpointRefusals(t *testing.T) {
+	// Non-NEX host cannot checkpoint; RunPrefix degrades to a full run.
+	b, _ := workloads.ByName("jpeg-decode")
+	sys := core.Build(core.Config{Host: core.HostReference, Accel: core.AccelDSim,
+		Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42})
+	if sys.CanCheckpoint() {
+		t.Fatal("reference host claims checkpoint support")
+	}
+	res, completed := sys.RunPrefix(b.Build(&sys.Ctx))
+	if !completed || res.SimTime <= 0 {
+		t.Fatal("non-checkpointable RunPrefix did not degrade to a full run")
+	}
+	if _, err := sys.Checkpoint(); err == nil {
+		t.Fatal("reference host produced a checkpoint")
+	}
+}

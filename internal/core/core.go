@@ -156,6 +156,7 @@ type System struct {
 	runRef   func(prog app.Program) Result
 	nexEng   *nex.Engine
 	gem5CPU  *cpu.Model
+	caches   []*cachesim.Cache
 }
 
 // Result reports one completed run.
@@ -200,9 +201,12 @@ func Build(cfg Config) *System {
 	// optionally a closer L2 for DMA service (§6.4's design sweep).
 	dramCtl := dram.New(dram.DDR4)
 	llc := cachesim.New(cachesim.LLC, dramCtl)
+	sys.caches = append(sys.caches, llc)
 	var dmaTarget memsys.Port = llc
 	if cfg.DMATarget == DMAL2 {
-		dmaTarget = cachesim.New(cachesim.L2, llc)
+		l2 := cachesim.New(cachesim.L2, llc)
+		sys.caches = append(sys.caches, l2)
+		dmaTarget = l2
 	}
 
 	fabricCfg := sys.fabricConfig()
@@ -304,6 +308,18 @@ func Build(cfg Config) *System {
 		sys.binds[i] = b.dev
 	}
 	return sys
+}
+
+// Release returns the system's pooled resources (the cache hierarchy)
+// for reuse by a future Build. Call it once, after the last Run result
+// has been extracted; the system must not be used afterwards. Releasing
+// is purely an allocation optimization — a Build that reuses recycled
+// parts is behaviorally identical to a fresh one.
+func (s *System) Release() {
+	for _, c := range s.caches {
+		c.Recycle()
+	}
+	s.caches = nil
 }
 
 // CPUModel returns the gem5-style CPU model (nil for other hosts).

@@ -78,6 +78,7 @@ type Request struct {
 	Factor   float64                              // OpWarp (CompressT)
 	Enter    bool                                 // OpWarp: true=enter region
 	Light    bool                                 // OpInteract: non-trapping (tick-mode batched access)
+	Addr     uint64                               // OpInteract: target address (engines classify device vs memory accesses)
 }
 
 // Thread is one simulated application thread.

@@ -1,0 +1,89 @@
+package eventq
+
+import (
+	"fmt"
+	"sort"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/vclock"
+)
+
+// Checkpointing: a queue's dynamic state is its clock, its sequence
+// counter, and the (time, sequence) stamps of the pending events in
+// dispatch order. The callbacks themselves are code, not data — the
+// restoring engine re-supplies them through a rebind function keyed by
+// dispatch position, the same way it registered them originally.
+// Cancelled events are dropped from the snapshot (they are already
+// unobservable), so two queues with equal pending sets encode
+// identically regardless of cancellation history.
+
+// SnapshotTo serializes the queue's dynamic state.
+func (q *Queue) SnapshotTo(enc *checkpoint.Encoder) {
+	enc.I64(int64(q.now))
+	enc.U64(q.seq)
+	pending := make([]*item, 0, q.live)
+	for _, it := range q.h {
+		if !it.cancel {
+			pending = append(pending, it)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].at != pending[j].at {
+			return pending[i].at < pending[j].at
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	enc.Int(len(pending))
+	for _, it := range pending {
+		enc.I64(int64(it.at))
+		enc.U64(it.seq)
+	}
+}
+
+// RestoreFrom rebuilds a snapshotted queue into an empty one. rebind is
+// called once per pending event, in dispatch order, and must return the
+// callback for the i-th event (stamped at/seq); the restored queue then
+// dispatches identically to the snapshotted one.
+func (q *Queue) RestoreFrom(dec *checkpoint.Decoder, rebind func(i int, at vclock.Time, seq uint64) Event) error {
+	if len(q.h) != 0 || q.live != 0 {
+		return fmt.Errorf("eventq: restore into a non-empty queue")
+	}
+	now := vclock.Time(dec.I64())
+	seq := dec.U64()
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n < 0 || uint64(n) > seq {
+		return fmt.Errorf("%w: %d pending events with seq %d", checkpoint.ErrCorrupt, n, seq)
+	}
+	items := make([]*item, n)
+	var prevAt vclock.Time
+	var prevSeq uint64
+	for i := range items {
+		at := vclock.Time(dec.I64())
+		s := dec.U64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if at < now {
+			return fmt.Errorf("%w: pending event at %v before queue time %v", checkpoint.ErrCorrupt, at, now)
+		}
+		if i > 0 && (at < prevAt || (at == prevAt && s <= prevSeq)) {
+			return fmt.Errorf("%w: pending events out of dispatch order", checkpoint.ErrCorrupt)
+		}
+		prevAt, prevSeq = at, s
+		fn := rebind(i, at, s)
+		if fn == nil {
+			return fmt.Errorf("eventq: rebind returned no callback for event %d", i)
+		}
+		items[i] = &item{q: q, at: at, seq: s, fn: fn, index: i}
+	}
+	// The items arrive sorted by the heap's less ordering, and a sorted
+	// array is a valid min-heap; no re-heapify needed.
+	q.h = items
+	q.now = now
+	q.seq = seq
+	q.live = n
+	return nil
+}

@@ -1,0 +1,144 @@
+package eventq
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/vclock"
+)
+
+// TestSnapshotRestoreDifferential: run a queue halfway, snapshot, rebind
+// into a fresh queue, and run both to completion — the dispatch logs
+// must be identical.
+func TestSnapshotRestoreDifferential(t *testing.T) {
+	type stamp struct {
+		at  vclock.Time
+		seq uint64
+	}
+	mkLogger := func(log *[]string, tag int) Event {
+		return func(now vclock.Time) {
+			*log = append(*log, fmt.Sprintf("%d@%d", tag, now))
+		}
+	}
+
+	var logA []string
+	var qA Queue
+	tags := map[stamp]int{}
+	record := func(h Handle, tag int) {
+		tags[stamp{h.item.at, h.item.seq}] = tag
+	}
+	record(qA.At(10, mkLogger(&logA, 1)), 1)
+	record(qA.At(5, mkLogger(&logA, 2)), 2)
+	record(qA.At(10, mkLogger(&logA, 3)), 3) // same time as tag 1: FIFO order
+	c := qA.At(7, mkLogger(&logA, 4))
+	record(qA.At(20, mkLogger(&logA, 5)), 5)
+	c.Cancel()
+
+	qA.RunUntil(6) // dispatches tag 2 only
+
+	enc := checkpoint.NewEncoder()
+	qA.SnapshotTo(enc)
+
+	var logB []string
+	logB = append(logB, logA...)
+	var qB Queue
+	dec, err := checkpoint.NewDecoder(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = qB.RestoreFrom(dec, func(i int, at vclock.Time, seq uint64) Event {
+		tag, ok := tags[stamp{at, seq}]
+		if !ok {
+			t.Fatalf("rebind asked for unknown stamp (%d,%d)", at, seq)
+		}
+		return mkLogger(&logB, tag)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Done() {
+		t.Fatal("blob not fully consumed")
+	}
+	if qB.Len() != qA.Len() || qB.Now() != qA.Now() {
+		t.Fatalf("restored queue shape differs: len %d/%d now %d/%d",
+			qB.Len(), qA.Len(), qB.Now(), qA.Now())
+	}
+
+	// New events scheduled after restore must interleave identically.
+	qA.At(15, mkLogger(&logA, 6))
+	qB.At(15, mkLogger(&logB, 6))
+	qA.Run()
+	qB.Run()
+	if fmt.Sprint(logA) != fmt.Sprint(logB) {
+		t.Fatalf("dispatch logs diverged:\n A %v\n B %v", logA, logB)
+	}
+}
+
+// TestSnapshotDropsCancelled: cancellation history must not leak into
+// the encoding.
+func TestSnapshotDropsCancelled(t *testing.T) {
+	nop := func(vclock.Time) {}
+	var q1 Queue
+	q1.At(5, nop)
+	q1.At(9, nop)
+
+	var q2 Queue
+	q2.At(5, nop)
+	h := q2.At(7, nop)
+	_ = q2.At(9, nop)
+	h.Cancel()
+	// q2's seq counter differs (3 events scheduled), so encodings can't
+	// match bit-for-bit — but the pending sets must: compare sans seq by
+	// restoring both and checking dispatch equivalence.
+	e1, e2 := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	q1.SnapshotTo(e1)
+	q2.SnapshotTo(e2)
+	d2, _ := checkpoint.NewDecoder(e2.Bytes())
+	var q3 Queue
+	if err := q3.RestoreFrom(d2, func(int, vclock.Time, uint64) Event { return nop }); err != nil {
+		t.Fatal(err)
+	}
+	if q3.Len() != 2 {
+		t.Fatalf("restored %d events, want 2 (cancelled dropped)", q3.Len())
+	}
+	// Two identical schedules DO encode identically.
+	var q4 Queue
+	q4.At(5, nop)
+	q4.At(9, nop)
+	e4 := checkpoint.NewEncoder()
+	q4.SnapshotTo(e4)
+	if !bytes.Equal(e1.Bytes(), e4.Bytes()) {
+		t.Fatal("identical schedules encoded differently")
+	}
+}
+
+func TestRestoreRejectsBadBlobs(t *testing.T) {
+	nop := func(vclock.Time) {}
+
+	// Non-empty target.
+	var q Queue
+	q.At(1, nop)
+	enc := checkpoint.NewEncoder()
+	q.SnapshotTo(enc)
+	dec, _ := checkpoint.NewDecoder(enc.Bytes())
+	if err := q.RestoreFrom(dec, func(int, vclock.Time, uint64) Event { return nop }); err == nil {
+		t.Fatal("restore into non-empty queue accepted")
+	}
+
+	// Truncated blob.
+	blob := enc.Bytes()
+	dec, _ = checkpoint.NewDecoder(blob[:len(blob)-4])
+	var q2 Queue
+	if err := q2.RestoreFrom(dec, func(int, vclock.Time, uint64) Event { return nop }); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+
+	// Nil rebind result.
+	dec, _ = checkpoint.NewDecoder(blob)
+	var q3 Queue
+	if err := q3.RestoreFrom(dec, func(int, vclock.Time, uint64) Event { return nil }); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}

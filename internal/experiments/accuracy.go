@@ -104,7 +104,9 @@ func runWithAccelClock(b workloads.Bench, host core.HostKind, acc core.AccelKind
 		Cores: 16, Seed: 42, AccelClock: clk,
 	}
 	sys := core.Build(cfg)
-	return sys.Run(b.Build(&sys.Ctx))
+	r := sys.Run(b.Build(&sys.Ctx))
+	sys.Release()
+	return r
 }
 
 // CPUOnly reruns the applications with accelerator calls removed and

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/core"
+	"nexsim/internal/vclock"
+	"nexsim/internal/workloads"
+)
+
+// defaultHostClock mirrors core.Build's host clock default.
+const defaultHostClock = 3 * vclock.GHz
+
+// Checkpointed sweep execution (prefix sharing): the points of a design
+// sweep differ only in accelerator-side ("late-binding") parameters —
+// accelerator engine, clock, fabric profile and latency, DMA level,
+// channel integration — while the host-side prefix up to the first
+// device interaction is identical. With checkpoints enabled, the
+// planner groups runs by their normalized prefix, executes each group's
+// prefix once, snapshots the engine at the divergence point, and forks
+// every group member from the blob. Forked runs are byte-identical to
+// straight-through runs (the engine-level differential tests pin this),
+// so enabling checkpoints changes wall-clock time only.
+
+// checkpointsOn gates the prefix-sharing planner. Like parallelism, it
+// is set before experiments run (cmd/paperbench -checkpoints, simserve
+// config), never while one is running.
+var checkpointsOn = false
+
+// ckptStore caches prefix blobs across runs and requests,
+// content-addressed by the normalized prefix key. 256MB bounds the
+// resident blobs; least-recently-forked prefixes evict first.
+var ckptStore = checkpoint.NewStore(256 << 20)
+
+// SetCheckpoints enables or disables checkpointed sweep execution. Not
+// safe to call while an experiment is running.
+func SetCheckpoints(on bool) { checkpointsOn = on }
+
+// CheckpointsEnabled reports whether the prefix-sharing planner is on.
+func CheckpointsEnabled() bool { return checkpointsOn }
+
+// CheckpointStats reports the prefix store's hit/miss/eviction counters
+// (exposed by simserve's /metrics).
+func CheckpointStats() checkpoint.StoreStats { return ckptStore.Stats() }
+
+// ResetCheckpointStore drops every cached prefix (tests).
+func ResetCheckpointStore() { ckptStore = checkpoint.NewStore(256 << 20) }
+
+// prefixShareable reports whether a run can fork from a shared prefix:
+// a NEX host driving at least one accelerator, without trace recording
+// (journal replay does not reproduce trace spans).
+func prefixShareable(b workloads.Bench, cfg core.Config) bool {
+	return cfg.Host == core.HostNEX && cfg.Trace == nil &&
+		cfg.Model != core.AccelNone && b.Model != core.AccelNone
+}
+
+// prefixConfig strips the late-binding fields off a run's configuration,
+// leaving the host-side prefix configuration every group member shares.
+// Everything cleared here is unobservable before the first device
+// interaction: the accelerator engine and clock only shape device
+// behavior, and the fabric/DMA/channel attachment is only traversed by
+// device interactions.
+func prefixConfig(cfg core.Config) core.Config {
+	cfg.Accel = core.AccelDSim
+	cfg.AccelClock = 0
+	cfg.Fabric = nil
+	cfg.DMATarget = core.DMALLC
+	cfg.UseChannel = false
+	cfg.IOTLB = nil
+	return cfg
+}
+
+// prefixKey is the content key of a run's shared prefix: the bench plus
+// every host-side parameter, with core.Build's defaulting applied so
+// implicit and explicit spellings share one key.
+func prefixKey(bench string, cfg core.Config) string {
+	clock := cfg.Clock
+	if clock == 0 {
+		clock = defaultHostClock
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 16
+	}
+	devices := cfg.Devices
+	if cfg.Model != core.AccelNone && devices <= 0 {
+		devices = 1
+	}
+	return fmt.Sprintf("%s|%v|%s|%d|%d|%d|%d|%t|%d|%d|%d|%d|%d",
+		bench, cfg.Host, cfg.Model, devices, cores, cfg.Seed, clock,
+		cfg.NEXNoTick, cfg.NEX.Epoch, cfg.NEX.VirtualCores,
+		cfg.NEX.PhysicalCores, cfg.NEX.Mode, cfg.NEX.SyncInterval)
+}
+
+// warmPrefix runs (or joins) the group's shared prefix and returns its
+// snapshot blob; nil means the program completed without touching a
+// device (cached as a negative entry so the group falls back to
+// straight runs without re-probing).
+func warmPrefix(b workloads.Bench, cfg core.Config) ([]byte, error) {
+	key := prefixKey(b.Name, cfg)
+	blob, _, err := ckptStore.GetOrCompute(key, func() ([]byte, error) {
+		psys := core.Build(prefixConfig(cfg))
+		defer psys.Release()
+		if _, completed := psys.RunPrefix(b.Build(&psys.Ctx)); completed {
+			return nil, nil
+		}
+		return psys.Checkpoint()
+	})
+	return blob, err
+}
+
+// executeRun is the chokepoint every experiment simulation goes
+// through: fork from the shared prefix when one is already cached, run
+// straight through otherwise. Prefixes are only *computed* by the sweep
+// planner's warm phase (RunSpecs) for groups that actually share one —
+// a solo run never pays for a snapshot nobody will fork. A restore
+// failure (a program whose yield sequence diverges from the cached
+// prefix) falls back to a straight run — correctness never depends on
+// the cache.
+func executeRun(b workloads.Bench, cfg core.Config) core.Result {
+	if checkpointsOn && prefixShareable(b, cfg) {
+		if blob, ok := ckptStore.Get(prefixKey(b.Name, cfg)); ok && blob != nil {
+			sys := core.Build(cfg)
+			prog := b.Build(&sys.Ctx)
+			if rerr := sys.RestoreCheckpoint(blob, prog); rerr == nil {
+				r := sys.ResumeRun()
+				sys.Release()
+				return r
+			}
+			sys.Release() // fall back to a straight run on a fresh build
+		}
+	}
+	sys := core.Build(cfg)
+	r := sys.Run(b.Build(&sys.Ctx))
+	sys.Release()
+	return r
+}
+
+// PrefixGroups partitions normalized specs into groups that share one
+// simulation prefix (the sweep planner's grouping step). Non-shareable
+// specs each form their own singleton group. Group order follows first
+// appearance; indices within a group stay in spec order.
+func PrefixGroups(norm []Spec) [][]int {
+	var order []string
+	groups := make(map[string][]int)
+	for i, n := range norm {
+		b, cfg := buildNormalized(n)
+		key := fmt.Sprintf("solo|%d", i)
+		if prefixShareable(b, cfg) {
+			key = prefixKey(b.Name, cfg)
+		}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	out := make([][]int, len(order))
+	for i, k := range order {
+		out[i] = groups[k]
+	}
+	return out
+}

@@ -133,9 +133,7 @@ func run(b workloads.Bench, host core.HostKind, acc core.AccelKind, o runOpts) c
 	cfg.NEX.PhysicalCores = o.nexPCores
 	cfg.NEX.Mode = o.nexMode
 	cfg.NEX.SyncInterval = o.nexSyncInt
-	sys := core.Build(cfg)
-	prog := b.Build(&sys.Ctx)
-	return sys.Run(prog)
+	return executeRun(b, cfg)
 }
 
 // benchByName panics on unknown names (experiments reference a fixed

@@ -46,6 +46,7 @@ type Spec struct {
 	NoTick         bool   `json:"no_tick,omitempty"`
 
 	// Attachment overrides.
+	Fabric        string `json:"fabric,omitempty"`          // "pcie" | "onchip" (default: model's)
 	LinkLatencyNS int64  `json:"link_latency_ns,omitempty"` // fabric one-way latency
 	DMATarget     string `json:"dma_target,omitempty"`      // "llc" | "l2" (default "llc")
 	UseChannel    bool   `json:"use_channel,omitempty"`
@@ -74,6 +75,22 @@ var syncModes = map[string]nex.SyncMode{
 var dmaTargets = map[string]core.DMALevel{
 	"llc": core.DMALLC,
 	"l2":  core.DMAL2,
+}
+
+// fabricProfiles are the named interconnect attachments a spec can pick
+// (latency is overridable via LinkLatencyNS on top of the profile).
+var fabricProfiles = map[string]interconnect.Config{
+	"pcie":   interconnect.PCIe400,
+	"onchip": interconnect.OnChip4,
+}
+
+// defaultFabricName mirrors core.Build's per-accelerator attachment
+// default.
+func defaultFabricName(model core.AccelModel) string {
+	if model == core.AccelProtoacc {
+		return "onchip"
+	}
+	return "pcie"
 }
 
 // Normalized validates s and returns a copy with every defaulted field
@@ -109,6 +126,12 @@ func (s Spec) Normalized() (Spec, error) {
 	if _, ok := dmaTargets[s.DMATarget]; !ok {
 		return Spec{}, fmt.Errorf("experiments: unknown dma_target %q (want llc or l2)", s.DMATarget)
 	}
+	if s.Fabric == "" {
+		s.Fabric = defaultFabricName(b.Model)
+	}
+	if _, ok := fabricProfiles[s.Fabric]; !ok {
+		return Spec{}, fmt.Errorf("experiments: unknown fabric %q (want pcie or onchip)", s.Fabric)
+	}
 	for _, f := range []struct {
 		name string
 		v    int64
@@ -139,7 +162,7 @@ func (s Spec) Normalized() (Spec, error) {
 		s.AccelClockMHz = int64(2 * vclock.GHz / vclock.MHz)
 	}
 	if s.LinkLatencyNS == 0 {
-		s.LinkLatencyNS = int64(defaultFabric(b.Model).LinkLatency / vclock.Nanosecond)
+		s.LinkLatencyNS = int64(fabricProfiles[s.Fabric].LinkLatency / vclock.Nanosecond)
 	}
 	return s, nil
 }
@@ -166,16 +189,6 @@ func (s Spec) ID() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// defaultFabric mirrors core.Build's per-accelerator attachment default
-// (on-chip for Protoacc, PCIe otherwise) so normalization can make the
-// implied link latency explicit.
-func defaultFabric(model core.AccelModel) interconnect.Config {
-	if model == core.AccelProtoacc {
-		return interconnect.OnChip4
-	}
-	return interconnect.PCIe400
-}
-
 // RunSpec executes one spec to completion and returns the engine
 // result. It is the structured twin of the table experiments' internal
 // run helper: the daemon submits Specs over HTTP, experiments enumerate
@@ -200,6 +213,26 @@ func RunSpecs(specs []Spec) ([]core.Result, error) {
 		}
 		norm[i] = n
 	}
+	if CheckpointsEnabled() {
+		// Prefix-sharing plan: warm every multi-member group's shared
+		// prefix first (one snapshot per group, fanned across the worker
+		// pool), so the per-spec jobs below all fork from warm blobs
+		// instead of racing to produce them.
+		var warm []func() struct{}
+		for _, g := range PrefixGroups(norm) {
+			if len(g) < 2 {
+				continue
+			}
+			b, cfg := buildNormalized(norm[g[0]])
+			warm = append(warm, func() struct{} {
+				// A warm failure is not fatal: the per-spec jobs fall
+				// back to straight runs.
+				_, _ = warmPrefix(b, cfg)
+				return struct{}{}
+			})
+		}
+		runJobs(warm)
+	}
 	jobs := make([]func() core.Result, len(norm))
 	for i := range norm {
 		n := norm[i]
@@ -208,8 +241,9 @@ func RunSpecs(specs []Spec) ([]core.Result, error) {
 	return runJobs(jobs), nil
 }
 
-// runNormalized assembles and runs one already-normalized spec.
-func runNormalized(n Spec) core.Result {
+// buildNormalized translates one already-normalized spec into the bench
+// and engine configuration it runs.
+func buildNormalized(n Spec) (workloads.Bench, core.Config) {
 	b := benchByName(n.Bench)
 	cfg := core.Config{
 		Host:       hostKinds[n.Host],
@@ -224,8 +258,10 @@ func runNormalized(n Spec) core.Result {
 		NEXNoTick:  n.NoTick,
 		UseChannel: n.UseChannel,
 	}
-	if lat := vclock.Duration(n.LinkLatencyNS) * vclock.Nanosecond; lat != defaultFabric(b.Model).LinkLatency {
-		fab := defaultFabric(b.Model).WithLatency(lat)
+	profile := fabricProfiles[n.Fabric]
+	lat := vclock.Duration(n.LinkLatencyNS) * vclock.Nanosecond
+	if n.Fabric != defaultFabricName(b.Model) || lat != profile.LinkLatency {
+		fab := profile.WithLatency(lat)
 		cfg.Fabric = &fab
 	}
 	cfg.NEX.Epoch = vclock.Duration(n.EpochNS) * vclock.Nanosecond
@@ -233,7 +269,11 @@ func runNormalized(n Spec) core.Result {
 	cfg.NEX.PhysicalCores = n.PhysicalCores
 	cfg.NEX.Mode = syncModes[n.SyncMode]
 	cfg.NEX.SyncInterval = vclock.Duration(n.SyncIntervalNS) * vclock.Nanosecond
-	sys := core.Build(cfg)
-	prog := b.Build(&sys.Ctx)
-	return sys.Run(prog)
+	return b, cfg
+}
+
+// runNormalized assembles and runs one already-normalized spec.
+func runNormalized(n Spec) core.Result {
+	b, cfg := buildNormalized(n)
+	return executeRun(b, cfg)
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"nexsim/internal/core"
-	"nexsim/internal/interconnect"
 	"nexsim/internal/vclock"
 	"nexsim/internal/workloads"
 )
@@ -52,50 +51,35 @@ func WhatIf(w io.Writer) error {
 
 // VTASweep reproduces §6.4's interactive design exploration on
 // ResNet-50: CPU-only vs VTA at PCIe 400ns / 100ns / on-chip 4ns, and
-// finally serving DMAs from an L2 instead of the LLC.
+// finally serving DMAs from an L2 instead of the LLC. The design points
+// differ only in late-binding attachment parameters, so with
+// checkpoints enabled the planner runs the shared host prefix once and
+// forks the four points from its snapshot.
 func VTASweep(w io.Writer) error {
 	// The sweep uses a less channel-scaled ResNet-50 (channels /2 instead
 	// of /4) so the compute:offload-overhead ratio resembles the real
 	// network's; see EXPERIMENTS.md.
-	vcfg := workloads.VTAConfig{Network: "resnet50", Seed: 13, ChannelScale: 2}
-
-	runVTA := func(fab *interconnect.Config, dma core.DMALevel) core.Result {
-		sys := core.Build(core.Config{
-			Host: core.HostNEX, Accel: core.AccelDSim,
-			Model: core.AccelVTA, Devices: 1, Cores: 16, Seed: 42,
-			Fabric: fab, DMATarget: dma,
-		})
-		return sys.Run(workloads.VTAProgram(vcfg, &sys.Ctx))
-	}
-	runCPU := func() core.Result {
-		sys := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
-		return sys.Run(workloads.CPUInferenceProgram(vcfg, &sys.Ctx))
-	}
+	const bench = "vta-resnet50-x2"
 
 	points := []struct {
 		name string
-		lat  vclock.Duration
-		dma  core.DMALevel
+		spec Spec
 	}{
-		{"VTA @ PCIe 400ns, DMA from LLC", 400 * vclock.Nanosecond, core.DMALLC},
-		{"VTA @ PCIe 100ns, DMA from LLC", 100 * vclock.Nanosecond, core.DMALLC},
-		{"VTA on-chip 4ns,  DMA from LLC", 4 * vclock.Nanosecond, core.DMALLC},
-		{"VTA on-chip 4ns,  DMA from L2", 4 * vclock.Nanosecond, core.DMAL2},
+		{"VTA @ PCIe 400ns, DMA from LLC", Spec{Bench: bench}},
+		{"VTA @ PCIe 100ns, DMA from LLC", Spec{Bench: bench, LinkLatencyNS: 100}},
+		{"VTA on-chip 4ns,  DMA from LLC", Spec{Bench: bench, Fabric: "onchip"}},
+		{"VTA on-chip 4ns,  DMA from L2", Spec{Bench: bench, Fabric: "onchip", DMATarget: "l2"}},
 	}
 
 	// Enumerate: the CPU-only baseline plus one run per design point.
-	jobs := []func() core.Result{runCPU}
+	specs := []Spec{{Bench: "cpu-" + bench}}
 	for _, c := range points {
-		c := c
-		jobs = append(jobs, func() core.Result {
-			fab := interconnect.PCIe400.WithLatency(c.lat)
-			if c.lat <= 4*vclock.Nanosecond {
-				fab = interconnect.OnChip4
-			}
-			return runVTA(&fab, c.dma)
-		})
+		specs = append(specs, c.spec)
 	}
-	res := runJobs(jobs)
+	res, err := RunSpecs(specs)
+	if err != nil {
+		return err
+	}
 
 	cpu := res[0]
 	fmt.Fprintf(w, "%-34s %12s\n", "configuration", "inference")
@@ -115,7 +99,6 @@ func VTASweep(w io.Writer) error {
 // only delivers speedups when its memory access latency is very low.
 func ProtoSweep(w io.Writer) error {
 	pbName := "protoacc-bench0"
-	b := benchByName(pbName)
 	lats := []vclock.Duration{
 		2 * vclock.Nanosecond, 4 * vclock.Nanosecond, 16 * vclock.Nanosecond,
 		64 * vclock.Nanosecond, 128 * vclock.Nanosecond, 256 * vclock.Nanosecond,
@@ -123,20 +106,17 @@ func ProtoSweep(w io.Writer) error {
 	}
 
 	// Enumerate: the CPU-only serialization baseline plus one run per
-	// memory latency.
-	jobs := []func() core.Result{func() core.Result {
-		sysCPU := core.Build(core.Config{Host: core.HostNEX, Cores: 16, Seed: 42})
-		pb, _ := workloads.ProtoBenchByName(pbName)
-		return sysCPU.Run(workloads.CPUSerializeProgram(pb, &sysCPU.Ctx))
-	}}
+	// memory latency (all sharing one prefix under the checkpoint
+	// planner — the latency is a late-binding attachment parameter).
+	specs := []Spec{{Bench: "cpu-" + pbName}}
 	for _, lat := range lats {
-		lat := lat
-		jobs = append(jobs, func() core.Result {
-			fab := interconnect.OnChip4.WithLatency(lat)
-			return run(b, core.HostNEX, core.AccelDSim, runOpts{fabric: &fab})
-		})
+		specs = append(specs, Spec{Bench: pbName,
+			LinkLatencyNS: int64(lat / vclock.Nanosecond)})
 	}
-	res := runJobs(jobs)
+	res, err := RunSpecs(specs)
+	if err != nil {
+		return err
+	}
 
 	cpu := res[0]
 	fmt.Fprintf(w, "%-30s %12s\n", "configuration", "batch e2e")

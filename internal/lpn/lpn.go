@@ -182,10 +182,14 @@ type OutFunc func(f *Firing, done vclock.Time) []Token
 
 // OutArc deposits tokens on a place after the transition's delay. If Fn
 // is nil, one token with the completion timestamp (and the attributes of
-// the first consumed token, if any) is deposited.
+// the first consumed token, if any) is deposited. Plain deposits one
+// attribute-free token at the completion time without calling Fn — the
+// common server-release and credit-return shape, kept allocation-free
+// because those arcs fire once per token through every stage.
 type OutArc struct {
 	Place *Place
 	Fn    OutFunc
+	Plain bool
 }
 
 // DelayFunc computes the service delay of a firing.
@@ -539,6 +543,10 @@ func (n *Net) fire(tr *Transition, at vclock.Time) {
 	}
 	done := at.Add(d)
 	for _, o := range tr.Out {
+		if o.Plain {
+			o.Place.Push(Token{TS: done})
+			continue
+		}
 		if o.Fn != nil {
 			for _, t := range o.Fn(f, done) {
 				o.Place.Push(t)
@@ -783,6 +791,10 @@ func (n *Net) scanFire(tr *Transition, at vclock.Time) {
 	}
 	done := at.Add(d)
 	for _, o := range tr.Out {
+		if o.Plain {
+			o.Place.Push(Token{TS: done})
+			continue
+		}
 		if o.Fn != nil {
 			for _, t := range o.Fn(f, done) {
 				o.Place.Push(t)

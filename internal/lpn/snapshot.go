@@ -1,0 +1,112 @@
+package lpn
+
+import (
+	"fmt"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/vclock"
+)
+
+// Checkpointing: a net's dynamic state is its clock, each place's token
+// queue, and each transition's fire count. The incremental scheduler's
+// enabled-set/heap state is deliberately *not* serialized — it is a pure
+// function of the marking, and RestoreFrom unseals the net so the next
+// engine call rebuilds it deterministically via Seal, exactly as a
+// freshly constructed net would. That keeps the blob a content address
+// of the logical state (two nets with equal markings encode
+// identically, regardless of scheduling history).
+
+// SnapshotTo serializes the net's dynamic state.
+func (n *Net) SnapshotTo(enc *checkpoint.Encoder) {
+	enc.String(n.Name)
+	enc.I64(int64(n.now))
+	enc.Int(len(n.places))
+	for _, p := range n.places {
+		enc.String(p.Name)
+		enc.Int(p.Len())
+		for i := 0; i < p.Len(); i++ {
+			tk := p.peek(i)
+			enc.I64(int64(tk.TS))
+			for _, a := range tk.Attrs {
+				enc.I64(a)
+			}
+		}
+	}
+	enc.Int(len(n.transitions))
+	for _, tr := range n.transitions {
+		enc.String(tr.Name)
+		enc.I64(tr.fires)
+	}
+}
+
+// RestoreFrom overwrites the net's dynamic state from a snapshot taken
+// on a structurally identical net (same places and transitions, in the
+// same order — checked by name). The net is unsealed; the scheduler
+// state is rebuilt on the next engine call and the restored net then
+// behaves identically to the snapshotted one.
+func (n *Net) RestoreFrom(dec *checkpoint.Decoder) error {
+	name := dec.String()
+	now := vclock.Time(dec.I64())
+	np := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if name != n.Name {
+		return fmt.Errorf("lpn: restore of net %q into %q", name, n.Name)
+	}
+	if np != len(n.places) {
+		return fmt.Errorf("lpn %s: restore with %d places, net has %d", n.Name, np, len(n.places))
+	}
+	tokens := make([][]Token, np)
+	for i := range tokens {
+		pname := dec.String()
+		nt := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if pname != n.places[i].Name {
+			return fmt.Errorf("lpn %s: restore place %d is %q, net has %q", n.Name, i, pname, n.places[i].Name)
+		}
+		if nt < 0 || (n.places[i].Cap > 0 && nt > n.places[i].Cap) {
+			return fmt.Errorf("%w: %d tokens in place %q", checkpoint.ErrCorrupt, nt, pname)
+		}
+		toks := make([]Token, nt)
+		for j := range toks {
+			toks[j].TS = vclock.Time(dec.I64())
+			for k := range toks[j].Attrs {
+				toks[j].Attrs[k] = dec.I64()
+			}
+		}
+		tokens[i] = toks
+	}
+	ntr := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if ntr != len(n.transitions) {
+		return fmt.Errorf("lpn %s: restore with %d transitions, net has %d", n.Name, ntr, len(n.transitions))
+	}
+	fires := make([]int64, ntr)
+	for i := range fires {
+		tname := dec.String()
+		fires[i] = dec.I64()
+		if dec.Err() == nil && tname != n.transitions[i].Name {
+			return fmt.Errorf("lpn %s: restore transition %d is %q, net has %q", n.Name, i, tname, n.transitions[i].Name)
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	for i, p := range n.places {
+		p.tokens = tokens[i]
+		p.head = 0
+		p.gen++ // invalidate the ready-count memo
+	}
+	for i, tr := range n.transitions {
+		tr.fires = fires[i]
+	}
+	n.now = now
+	n.sealed = false
+	return nil
+}

@@ -1,0 +1,163 @@
+package lpn
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nexsim/internal/checkpoint"
+	"nexsim/internal/vclock"
+)
+
+// TestSnapshotRestoreDifferential reuses the randomized differential
+// harness: drive a net through the first half of a schedule, snapshot it
+// mid-run, restore into a structurally identical fresh net, then drive
+// both through the second half. Firing logs, clocks, NextEvent answers
+// and final markings must agree exactly — restore-then-run is
+// indistinguishable from straight-through.
+func TestSnapshotRestoreDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		netA, placesA, logA := genNet(seed)
+		netB, placesB, logB := genNet(seed)
+		ops := genSchedule(seed, len(placesA))
+		half := len(ops) / 2
+
+		drive := func(n *Net, places []*Place, ops []op, answers *[]string) {
+			for _, o := range ops {
+				switch o.kind {
+				case 0:
+					if injectable(places[o.place]) {
+						n.Inject(places[o.place], o.tok)
+					}
+				case 1:
+					n.Advance(o.until)
+				case 2:
+					at, ok := n.NextEvent()
+					*answers = append(*answers, fmt.Sprintf("%d/%v", at, ok))
+				}
+			}
+		}
+
+		var ansA, ansB []string
+		drive(netA, placesA, ops[:half], &ansA)
+
+		// Mid-run snapshot of A, restored into the fresh B.
+		enc := checkpoint.NewEncoder()
+		netA.SnapshotTo(enc)
+		dec, err := checkpoint.NewDecoder(enc.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := netB.RestoreFrom(dec); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		if !dec.Done() {
+			t.Fatalf("seed %d: blob not fully consumed", seed)
+		}
+		*logB = append([]string(nil), *logA...)
+		ansB = append([]string(nil), ansA...)
+
+		drive(netA, placesA, ops[half:], &ansA)
+		drive(netB, placesB, ops[half:], &ansB)
+
+		if fmt.Sprint(*logA) != fmt.Sprint(*logB) {
+			t.Fatalf("seed %d: firing logs diverged after restore:\n A %v\n B %v", seed, *logA, *logB)
+		}
+		if fmt.Sprint(ansA) != fmt.Sprint(ansB) {
+			t.Fatalf("seed %d: NextEvent answers diverged", seed)
+		}
+		if netA.Now() != netB.Now() {
+			t.Fatalf("seed %d: clocks diverged: %v vs %v", seed, netA.Now(), netB.Now())
+		}
+		if fmt.Sprint(marking(placesA)) != fmt.Sprint(marking(placesB)) {
+			t.Fatalf("seed %d: markings diverged:\n A %v\n B %v", seed, marking(placesA), marking(placesB))
+		}
+		for i := range netA.transitions {
+			if netA.transitions[i].fires != netB.transitions[i].fires {
+				t.Fatalf("seed %d: fire counts diverged at %s", seed, netA.transitions[i].Name)
+			}
+		}
+	}
+}
+
+// TestSnapshotContentAddressed: equal markings encode identically, no
+// matter how the net reached them.
+func TestSnapshotContentAddressed(t *testing.T) {
+	build := func() (*Net, *Place, *Place) {
+		n := New("ca")
+		a := n.AddPlace("a", 0)
+		b := n.AddPlace("b", 0)
+		n.AddTransition(&Transition{Name: "t", In: []Arc{{Place: a}},
+			Out: []OutArc{{Place: b}}, Delay: Const(5)})
+		return n, a, b
+	}
+
+	// Net 1: inject two, advance once.
+	n1, a1, _ := build()
+	n1.Inject(a1, Tok(0, 7))
+	n1.Inject(a1, Tok(3, 9))
+	n1.Advance(100)
+
+	// Net 2: same tokens, advanced in two steps with probes in between.
+	n2, a2, _ := build()
+	n2.Inject(a2, Tok(0, 7))
+	n2.Advance(1)
+	n2.NextEvent()
+	n2.Inject(a2, Tok(3, 9))
+	n2.Advance(100)
+
+	e1, e2 := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	n1.SnapshotTo(e1)
+	n2.SnapshotTo(e2)
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("equal logical states encoded differently")
+	}
+}
+
+func TestRestoreRejectsStructuralMismatch(t *testing.T) {
+	n1 := New("x")
+	p := n1.AddPlace("p", 0)
+	n1.AddTransition(&Transition{Name: "t", In: []Arc{{Place: p}}})
+	n1.Inject(p, Tok(1, 2))
+	enc := checkpoint.NewEncoder()
+	n1.SnapshotTo(enc)
+
+	// Different place name.
+	n2 := New("x")
+	n2.AddPlace("q", 0)
+	n2.AddTransition(&Transition{Name: "t", In: []Arc{{Place: p}}})
+	dec, _ := checkpoint.NewDecoder(enc.Bytes())
+	if err := n2.RestoreFrom(dec); err == nil {
+		t.Fatal("restore accepted mismatched place name")
+	}
+
+	// Different net name.
+	n3 := New("y")
+	n3.AddPlace("p", 0)
+	n3.AddTransition(&Transition{Name: "t", In: []Arc{{Place: p}}})
+	dec, _ = checkpoint.NewDecoder(enc.Bytes())
+	if err := n3.RestoreFrom(dec); err == nil {
+		t.Fatal("restore accepted mismatched net name")
+	}
+}
+
+func TestRestoreOverCapacityRejected(t *testing.T) {
+	n1 := New("c")
+	p1 := n1.AddPlace("p", 0) // unbounded source
+	n1.AddTransition(&Transition{Name: "t", In: []Arc{{Place: p1}}})
+	for i := 0; i < 4; i++ {
+		n1.Inject(p1, Tok(vclock.Time(i), int64(i)))
+	}
+	// t consumes them all when advanced; snapshot before advancing so the
+	// marking holds 4 tokens.
+	enc := checkpoint.NewEncoder()
+	n1.SnapshotTo(enc)
+
+	n2 := New("c")
+	p2 := n2.AddPlace("p", 2) // capacity-bounded: 4 tokens cannot fit
+	n2.AddTransition(&Transition{Name: "t", In: []Arc{{Place: p2}}})
+	dec, _ := checkpoint.NewDecoder(enc.Bytes())
+	if err := n2.RestoreFrom(dec); err == nil {
+		t.Fatal("restore overflowed a capacity-bounded place")
+	}
+}

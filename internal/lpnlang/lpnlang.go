@@ -78,6 +78,13 @@ func AlsoProduce(p *lpn.Place, fn lpn.OutFunc) StageOpt {
 	return func(c *stageCfg) { c.extraOut = append(c.extraOut, lpn.OutArc{Place: p, Fn: fn}) }
 }
 
+// AlsoRelease adds an extra output arc depositing one attribute-free
+// token at the firing's completion time — the credit-return shape of
+// AlsoProduce(p, ReturnCredit), but allocation-free on the firing path.
+func AlsoRelease(p *lpn.Place) StageOpt {
+	return func(c *stageCfg) { c.extraOut = append(c.extraOut, lpn.OutArc{Place: p, Plain: true}) }
+}
+
 // Cycles returns a delay of n clock cycles at the builder's frequency.
 func (b *Builder) Cycles(n int64) lpn.DelayFunc { return lpn.PerCycle(b.clk, n) }
 
@@ -119,7 +126,7 @@ func (b *Builder) Stage(name string, from, to *lpn.Place, delay lpn.DelayFunc, o
 			srv.Push(lpn.Tok(0))
 		}
 		in = append(in, lpn.Arc{Place: srv})
-		out = append(out, lpn.OutArc{Place: srv, Fn: releaseAt})
+		out = append(out, lpn.OutArc{Place: srv, Plain: true})
 	}
 	in = append(in, cfg.extraIn...)
 	out = append(out, cfg.extraOut...)
@@ -131,11 +138,6 @@ func (b *Builder) Stage(name string, from, to *lpn.Place, delay lpn.DelayFunc, o
 		Guard:  cfg.guard,
 		Effect: cfg.effect,
 	})
-}
-
-// releaseAt returns the server token at the stage's completion time.
-func releaseAt(f *lpn.Firing, done vclock.Time) []lpn.Token {
-	return []lpn.Token{lpn.Tok(done)}
 }
 
 // Credits declares a credit pool with n initial credits. Stages that

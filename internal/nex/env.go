@@ -38,7 +38,7 @@ func (v *env) ComputeFor(d vclock.Duration) {
 
 func (v *env) MMIORead(addr mem.Addr) uint32 {
 	var out uint32
-	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Addr: uint64(addr), Interact: func(at vclock.Time) vclock.Duration {
 		b := v.e.binding(addr)
 		if b == nil {
 			panic(fmt.Sprintf("nex: MMIO read of unmapped address %#x", uint64(addr)))
@@ -50,7 +50,7 @@ func (v *env) MMIORead(addr mem.Addr) uint32 {
 }
 
 func (v *env) MMIOWrite(addr mem.Addr, val uint32) {
-	v.th.Yield(coro.Request{Op: coro.OpInteract, Interact: func(at vclock.Time) vclock.Duration {
+	v.th.Yield(coro.Request{Op: coro.OpInteract, Addr: uint64(addr), Interact: func(at vclock.Time) vclock.Duration {
 		b := v.e.binding(addr)
 		if b == nil {
 			panic(fmt.Sprintf("nex: MMIO write of unmapped address %#x", uint64(addr)))
@@ -64,6 +64,7 @@ func (v *env) TaskRead(addr mem.Addr, p []byte) {
 	v.th.Yield(coro.Request{
 		Op:    coro.OpInteract,
 		Light: v.e.cfg.TickMode,
+		Addr:  uint64(addr),
 		Interact: func(at vclock.Time) vclock.Duration {
 			v.e.mem.ReadFaulting(addr, p)
 			return v.e.cfg.TaskAccessCost
@@ -75,6 +76,7 @@ func (v *env) TaskWrite(addr mem.Addr, p []byte) {
 	v.th.Yield(coro.Request{
 		Op:    coro.OpInteract,
 		Light: v.e.cfg.TickMode,
+		Addr:  uint64(addr),
 		Interact: func(at vclock.Time) vclock.Duration {
 			v.e.mem.WriteFaulting(addr, p)
 			return v.e.cfg.TaskAccessCost

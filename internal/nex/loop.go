@@ -9,9 +9,10 @@ import (
 	"nexsim/internal/vclock"
 )
 
-// loop drives the simulation epoch by epoch until all threads exit.
+// loop drives the simulation epoch by epoch until all threads exit or —
+// when a checkpoint halt is armed — until the prefix boundary freezes
+// the engine mid-epoch (e.frame set; see snapshot.go).
 func (e *Engine) loop() {
-	nextSync := vclock.Time(e.cfg.SyncInterval)
 	for e.live > 0 {
 		minWake := e.minWake()
 
@@ -48,11 +49,11 @@ func (e *Engine) loop() {
 			// state and cheaper, but interrupts must be delivered at
 			// their interval boundaries inside the gap.
 			if e.cfg.Mode == Hybrid {
-				for nextSync < start {
-					e.advanceDevices(nextSync)
+				for e.nextSync < start {
+					e.advanceDevices(e.nextSync)
 					e.Stats.Syncs++
-					e.deliverIRQs(nextSync)
-					nextSync += vclock.Time(e.cfg.SyncInterval)
+					e.deliverIRQs(e.nextSync)
+					e.nextSync += vclock.Time(e.cfg.SyncInterval)
 				}
 			}
 		}
@@ -74,62 +75,79 @@ func (e *Engine) loop() {
 		}
 		end := start.Add(e.epochLen(selected))
 
-		for _, th := range selected {
-			e.runThreadEpoch(th, start, end)
+		for i, th := range selected {
+			if e.runThreadEpoch(th, start, end) {
+				// Prefix halt: the request e.frame.req was yielded but not
+				// processed. Freeze the slot-loop position; ResumeRun picks
+				// the epoch back up from here (possibly in another engine,
+				// after Restore). selected aliases scratch, so copy it.
+				e.frame.selected = append([]*coro.Thread(nil), selected...)
+				e.frame.idx = i
+				e.frame.start = start
+				e.frame.end = end
+				return
+			}
 			if e.live == 0 {
 				break
 			}
 		}
 
-		if e.truncate {
-			// A thread left a SlipStream region: shrink the epoch to the
-			// furthest point actually executed and reschedule immediately.
-			e.truncate = false
-			newEnd := start
-			for _, th := range selected {
-				if c := st(th).cursor; c > newEnd {
-					newEnd = c
-				}
-			}
-			if newEnd < end {
-				for _, th := range e.active {
-					s := st(th)
-					if !s.exited && !s.parked && s.wakeAt == end {
-						e.setWake(s, newEnd)
-					}
-				}
-				end = newEnd
+		e.endEpoch(selected, start, end)
+	}
+}
+
+// endEpoch applies SlipStream truncation, accounts the epoch's
+// statistics, and performs the mode's epoch-boundary synchronization
+// (§3.1).
+func (e *Engine) endEpoch(selected []*coro.Thread, start, end vclock.Time) {
+	if e.truncate {
+		// A thread left a SlipStream region: shrink the epoch to the
+		// furthest point actually executed and reschedule immediately.
+		e.truncate = false
+		newEnd := start
+		for _, th := range selected {
+			if c := st(th).cursor; c > newEnd {
+				newEnd = c
 			}
 		}
+		if newEnd < end {
+			for _, th := range e.active {
+				s := st(th)
+				if !s.exited && !s.parked && s.wakeAt == end {
+					e.setWake(s, newEnd)
+				}
+			}
+			end = newEnd
+		}
+	}
 
-		e.Stats.Epochs++
-		e.Stats.ThreadEpochs += int64(len(selected))
-		e.Stats.Rounds += int64((len(selected) + e.cfg.PhysicalCores - 1) / e.cfg.PhysicalCores)
-		e.epochIdx++
-		e.now = end
+	e.Stats.Epochs++
+	e.Stats.ThreadEpochs += int64(len(selected))
+	e.Stats.Rounds += int64((len(selected) + e.cfg.PhysicalCores - 1) / e.cfg.PhysicalCores)
+	e.epochIdx++
+	e.now = end
 
-		// Epoch-boundary synchronization per mode (§3.1).
-		switch e.cfg.Mode {
-		case Eager:
+	// Epoch-boundary synchronization per mode (§3.1).
+	switch e.cfg.Mode {
+	case Eager:
+		e.advanceDevices(end)
+		e.Stats.Syncs++
+		e.deliverIRQs(end)
+	case Hybrid:
+		if end >= e.nextSync {
 			e.advanceDevices(end)
 			e.Stats.Syncs++
 			e.deliverIRQs(end)
-		case Hybrid:
-			if end >= nextSync {
-				e.advanceDevices(end)
-				e.Stats.Syncs++
-				e.deliverIRQs(end)
-				for nextSync <= end {
-					nextSync += vclock.Time(e.cfg.SyncInterval)
-				}
+			for e.nextSync <= end {
+				e.nextSync += vclock.Time(e.cfg.SyncInterval)
 			}
-		case Lazy:
-			// Interrupts discovered during trap-driven catch-ups are
-			// delivered at the epoch boundary; lazy mode never advances
-			// devices on its own.
-			if len(e.pending) > 0 {
-				e.deliverIRQs(end)
-			}
+		}
+	case Lazy:
+		// Interrupts discovered during trap-driven catch-ups are
+		// delivered at the epoch boundary; lazy mode never advances
+		// devices on its own.
+		if len(e.pending) > 0 {
+			e.deliverIRQs(end)
 		}
 	}
 }
@@ -171,8 +189,11 @@ func (e *Engine) runnableAt(t vclock.Time) []*coro.Thread {
 	return out
 }
 
-// runThreadEpoch executes one thread's slot within [start, end).
-func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
+// runThreadEpoch executes one thread's slot within [start, end). It
+// reports whether a prefix halt fired (the thread yielded a device-bound
+// request while haltArmed): the request is stashed un-processed in
+// e.frame and the slot is left incomplete.
+func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) bool {
 	s := st(th)
 	cursor := start
 	segStart := cursor
@@ -190,13 +211,20 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				e.traceSpan(th.Name, trace.Compute, segStart, cursor)
 				e.setWake(s, end)
 				s.cursor = cursor
-				return
+				return false
 			}
 			continue
 		}
 
 		s.cursor = cursor
 		r := th.Resume()
+		if e.recording {
+			e.recordYield(th, r)
+		}
+		if e.haltArmed && e.deviceTouch(r) {
+			e.frame = &haltFrame{req: r}
+			return true
+		}
 		switch r.Op {
 		case coro.OpExit:
 			s.exited = true
@@ -207,7 +235,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				e.finishT = cursor
 			}
 			e.traceSpan(th.Name, trace.Compute, segStart, cursor)
-			return
+			return false
 
 		case coro.OpAdvance:
 			s.deficit = e.scaledDuration(s, r.Work)
@@ -232,7 +260,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				wake = c
 			}
 			e.setWake(s, wake)
-			return
+			return false
 
 		case coro.OpPark:
 			if s.pending {
@@ -243,7 +271,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 			e.setWake(s, vclock.Never)
 			e.markInactive()
 			e.traceSpan(th.Name, trace.Compute, segStart, cursor)
-			return
+			return false
 
 		case coro.OpUnpark:
 			t2 := st(r.Target)
@@ -258,7 +286,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 		case coro.OpSleep:
 			e.setWake(s, cursor.Add(r.Dur))
 			e.traceSpan(th.Name, trace.Blocked, cursor, s.wakeAt)
-			return
+			return false
 
 		case coro.OpSpawn:
 			body, ok := r.Body.(app.ThreadFunc)
@@ -268,13 +296,18 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 			nt := e.newThread(r.Name, body)
 			e.setWake(st(nt), end)
 			th.Spawned = nt
+			if e.recording {
+				// Patch the child's ID into the journal entry so replay can
+				// check the recreated thread got the same identity.
+				e.journal[len(e.journal)-1].aux = nt.ID
+			}
 
 		case coro.OpWaitIRQ:
 			s.parked = true
 			e.setWake(s, vclock.Never)
 			e.markInactive()
 			e.irqWait[r.Vector] = append(e.irqWait[r.Vector], th)
-			return
+			return false
 
 		case coro.OpWarp:
 			wasSlip := s.slip
@@ -286,20 +319,63 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) {
 				e.setWake(s, cursor)
 				s.cursor = cursor
 				e.truncate = true
-				return
+				return false
 			}
 
 		case coro.OpTick:
 			e.Stats.Traps++
 			e.advanceDevices(cursor)
 			e.setWake(s, end)
-			return
+			return false
 		}
 	}
 	// Used the whole epoch (e.g. finished a segment exactly at the
 	// boundary): continue next epoch.
 	e.setWake(s, end)
 	s.cursor = end
+	return false
+}
+
+// deviceTouch reports whether a yielded request is the accelerator-bound
+// kind a prefix halt stops on: a trapping interaction addressed inside a
+// device MMIO window, or a tick synchronization point with devices
+// attached. Task-buffer traps (plain memory) don't qualify — they leave
+// device state untouched.
+func (e *Engine) deviceTouch(r coro.Request) bool {
+	switch r.Op {
+	case coro.OpTick:
+		return len(e.devices) > 0
+	case coro.OpInteract:
+		return !r.Light && e.binding(mem.Addr(r.Addr)) != nil
+	}
+	return false
+}
+
+// resumePending processes the halt-point request, completing the slot
+// that was interrupted by the prefix halt. The request is always a
+// device-bound trap (see deviceTouch), so the slot ends right after it —
+// exactly the two `return` paths of runThreadEpoch.
+func (e *Engine) resumePending(th *coro.Thread, end vclock.Time, r coro.Request) {
+	s := st(th)
+	cursor := s.cursor
+	switch r.Op {
+	case coro.OpInteract:
+		e.Stats.Traps++
+		e.advanceDevices(cursor)
+		cost := r.Interact(cursor)
+		e.traceSpan(th.Name, trace.MMIO, cursor, cursor.Add(cost))
+		wake := end
+		if c := cursor.Add(cost); c > wake {
+			wake = c
+		}
+		e.setWake(s, wake)
+	case coro.OpTick:
+		e.Stats.Traps++
+		e.advanceDevices(cursor)
+		e.setWake(s, end)
+	default:
+		panic("nex: resume of a non-device halt request")
+	}
 }
 
 // scaledDuration applies the engine's accuracy model to a compute

@@ -207,12 +207,33 @@ type Engine struct {
 	now      vclock.Time // current epoch start
 	truncate bool        // a SlipStream exit requested epoch truncation
 	finishT  vclock.Time // virtual time of the last thread activity
+	nextSync vclock.Time // next hybrid periodic synchronization boundary
 	epochIdx int64
 	calBias  float64
 	interfer float64 // underprovisioning interference factor
 	rng      *xrand.Stream
 
+	// Checkpoint machinery (snapshot.go). While recording, every thread
+	// yield is journaled so a fresh engine can replay the prefix; while
+	// haltArmed, the first device-bound request freezes the engine
+	// mid-epoch into frame instead of being processed.
+	recording bool
+	haltArmed bool
+	journal   []journalEntry
+	frame     *haltFrame
+
 	Stats Stats
+}
+
+// haltFrame freezes the position inside an epoch's slot loop at the
+// moment a prefix halt fired: the selected threads, which slot halted,
+// the epoch bounds, and the yielded-but-unprocessed request.
+type haltFrame struct {
+	selected []*coro.Thread
+	idx      int
+	start    vclock.Time
+	end      vclock.Time
+	req      coro.Request
 }
 
 type pendingIRQ struct {
@@ -337,7 +358,12 @@ type Result struct {
 func (e *Engine) Run(prog app.Program) Result {
 	main := e.newThread("main", prog.Main)
 	e.setWake(st(main), 0)
+	e.nextSync = vclock.Time(e.cfg.SyncInterval)
 	e.loop()
+	return e.result()
+}
+
+func (e *Engine) result() Result {
 	return Result{SimTime: vclock.Duration(e.lastActivity()), Threads: e.nextTID, Stats: e.Stats}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"nexsim/internal/checkpoint"
 	"nexsim/internal/stats"
 )
 
@@ -51,9 +52,9 @@ func (m *metrics) observeRun(bench string, wallMS float64) {
 }
 
 // render writes the metrics page. queueDepth/queueCap/workers are
-// sampled by the caller from the pool; cacheEntries/cacheEvictions from
-// the cache.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEntries int, cacheEvictions int64) {
+// sampled by the caller from the pool, cacheEntries/cacheEvictions from
+// the result cache, and ck from the prefix-checkpoint store.
+func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEntries int, cacheEvictions int64, ck checkpoint.StoreStats) {
 	fmt.Fprintf(w, "simserve_jobs_submitted %d\n", m.jobsSubmitted)
 	fmt.Fprintf(w, "simserve_jobs_completed %d\n", m.jobsCompleted)
 	fmt.Fprintf(w, "simserve_jobs_failed %d\n", m.jobsFailed)
@@ -66,6 +67,11 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEn
 	fmt.Fprintf(w, "simserve_queue_capacity %d\n", queueCap)
 	fmt.Fprintf(w, "simserve_workers %d\n", workers)
 	fmt.Fprintf(w, "simserve_workers_busy %d\n", m.workersBusy)
+	fmt.Fprintf(w, "simserve_checkpoint_entries %d\n", ck.Entries)
+	fmt.Fprintf(w, "simserve_checkpoint_bytes %d\n", ck.UsedBytes)
+	fmt.Fprintf(w, "simserve_checkpoint_hits %d\n", ck.Hits)
+	fmt.Fprintf(w, "simserve_checkpoint_misses %d\n", ck.Misses)
+	fmt.Fprintf(w, "simserve_checkpoint_evictions %d\n", ck.Evictions)
 
 	benches := make([]string, 0, len(m.benchWall))
 	for b := range m.benchWall {

@@ -52,6 +52,12 @@ type Config struct {
 	// WaitTimeout caps how long a wait=true submit blocks before
 	// degrading to a 202 + poll response (default 60s).
 	WaitTimeout time.Duration
+	// Checkpoints enables checkpointed sweep execution: jobs whose
+	// normalized prefix matches an earlier run fork from its cached
+	// engine snapshot instead of re-simulating the prefix. Results are
+	// byte-identical either way; the prefix store's counters surface on
+	// /metrics.
+	Checkpoints bool
 	// Runner executes one normalized spec (default: experiments.RunSpec).
 	// Tests inject instrumented runners here.
 	Runner func(experiments.Spec) (core.Result, error)
@@ -140,6 +146,11 @@ type Server struct {
 // New starts a server (its worker pool runs until Close).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Checkpoints {
+		// Process-wide, like the executor's parallelism: set before any
+		// job runs, never while one is running.
+		experiments.SetCheckpoints(true)
+	}
 	return &Server{
 		cfg:   cfg,
 		pool:  sweep.NewPool(cfg.Workers, cfg.Backlog),
@@ -318,8 +329,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var buf bytes.Buffer
 	depth, capacity, workers := s.pool.Depth(), s.pool.Capacity(), s.pool.Workers()
+	ck := experiments.CheckpointStats()
 	s.mu.Lock()
-	s.m.render(&buf, depth, capacity, workers, s.cache.len(), s.cache.evictions)
+	s.m.render(&buf, depth, capacity, workers, s.cache.len(), s.cache.evictions, ck)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := w.Write(buf.Bytes()); err != nil {

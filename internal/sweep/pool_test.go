@@ -80,3 +80,44 @@ func TestPoolDefaults(t *testing.T) {
 	}
 	p.Close()
 }
+
+// TestPoolTrySubmitCloseInterleaving hammers TrySubmit from several
+// goroutines while Close runs concurrently. Every interleaving must hold
+// three invariants: TrySubmit never panics with a send on the closed
+// channel, every accepted job runs exactly once (Close drains the
+// queue), and TrySubmit refuses once Close has returned. Run under
+// -race this also checks the closed-flag discipline.
+func TestPoolTrySubmitCloseInterleaving(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		p := NewPool(2, 4)
+		var accepted, executed atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					if p.TrySubmit(func() { executed.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if p.TrySubmit(func() {}) {
+			t.Fatal("TrySubmit accepted a job after Close returned")
+		}
+		if got, want := executed.Load(), accepted.Load(); got != want {
+			t.Fatalf("round %d: %d jobs executed, want %d (accepted)", round, got, want)
+		}
+	}
+}

@@ -39,6 +39,16 @@ func Catalog() []Bench {
 	all = append(all, ProtoaccBenches()...)
 	all = append(all, JPEGBenches()...)
 	all = append(all, NPBBenches(8)...)
+	all = append(all, CPUOnlyBenches()...)
+	all = append(all, Bench{
+		// CPU companion of vta-resnet50-x2: the §6.4 sweep's baseline
+		// (not part of CPUOnlyBenches — the §6.5 error study keeps its
+		// original benchmark set).
+		Name: "cpu-vta-resnet50-x2", Model: core.AccelNone, Threads: 1,
+		Build: func(ctx *core.Ctx) app.Program {
+			return CPUInferenceProgram(VTAConfig{Network: "resnet50", Seed: 13, ChannelScale: 2}, ctx)
+		},
+	})
 	return all
 }
 

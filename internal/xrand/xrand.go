@@ -36,6 +36,11 @@ func (s *Stream) Derive(name string) *Stream {
 	return &Stream{state: mix(s.state ^ h)}
 }
 
+// State returns the stream's current internal state. Two streams with
+// equal state produce identical sequences, so the state serves as a
+// memo key for pure functions of a stream.
+func (s *Stream) State() uint64 { return s.state }
+
 // Uint64 returns the next value in the stream.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,35 @@
+#!/bin/sh
+# ckpt_smoke.sh — checkpoint determinism smoke: the same experiment run
+# with and without `-checkpoints` must print byte-identical output.
+# Forked runs restore engine snapshots and replay the NEX journal, so
+# any divergence (a missed field in a snapshot section, a replay that
+# drifts) shows up as a byte diff here before it can corrupt a real
+# sweep. table4 exercises the NEX engine paths the snapshots serialize
+# and prints no wall-clock-dependent lines. Run as part of check.sh.
+set -eu
+
+TMPDIR_SMOKE="$(mktemp -d)"
+cleanup() {
+    status=$?
+    rm -rf "$TMPDIR_SMOKE"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "ckpt-smoke: building paperbench"
+go build -o "$TMPDIR_SMOKE/paperbench" ./cmd/paperbench
+
+# The per-experiment "(table4 in Nms)" footer is host wall-clock time
+# and varies run to run; every simulated number above it must not.
+strip_wall() { sed '/^([a-z0-9-]* in [0-9.]*[a-zµ]*s)$/d'; }
+
+echo "ckpt-smoke: running table4 without checkpoints"
+"$TMPDIR_SMOKE/paperbench" -exp table4 -parallel 1 | strip_wall >"$TMPDIR_SMOKE/plain.txt"
+echo "ckpt-smoke: running table4 with checkpoints"
+"$TMPDIR_SMOKE/paperbench" -exp table4 -parallel 1 -checkpoints | strip_wall >"$TMPDIR_SMOKE/ckpt.txt"
+
+if ! diff -u "$TMPDIR_SMOKE/plain.txt" "$TMPDIR_SMOKE/ckpt.txt"; then
+    echo "ckpt-smoke: FAIL -checkpoints changed experiment output" >&2
+    exit 1
+fi
+echo "ckpt-smoke: PASS (outputs byte-identical)"

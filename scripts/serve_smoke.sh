@@ -88,4 +88,9 @@ if ! wait "$SIMD_PID"; then
     exit 1
 fi
 SIMD_PID=""
+if [ -e "$PORTFILE" ]; then
+    echo "serve-smoke: FAIL portfile not removed on graceful shutdown" >&2
+    exit 1
+fi
+echo "serve-smoke: portfile removed on drain"
 echo "serve-smoke: PASS"
