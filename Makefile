@@ -16,6 +16,21 @@ check: lint
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Crash-safety smoke test: simd with -state-dir answers a job, is
+# killed with SIGKILL, and the restarted daemon serves the same spec
+# byte-identically from its recovered journal. check.sh runs this too.
+crash-smoke:
+	sh scripts/crash_smoke.sh
+
+# Chaos gate: the deterministic fault matrix (every injection site ×
+# {fail, delay} under fixed seeds), the budget watchdog tests (abort
+# without goroutine leaks), and the simserve self-healing tests (retry,
+# hedge, WAL recovery), all under the race detector.
+chaos:
+	go test -count=1 -race ./internal/faults/
+	go test -count=1 -race -run 'TestFault|TestBudget' ./internal/experiments/
+	go test -count=1 -race -run 'TestTransient|TestRetry|TestBudget|TestHedge|TestWAL' ./internal/simserve/
+
 # Micro-benchmark suite (LPN engine incremental-vs-reference, simbricks
 # channel) at a stable sampling time, a smoke pass over every other
 # registered benchmark, then the full paper experiment run with a JSON
@@ -26,4 +41,4 @@ bench:
 	go test -run xxx -bench . -benchtime 1x ./...
 	go run ./cmd/paperbench -exp all -checkpoints -json BENCH_pr6.json
 
-.PHONY: lint check bench serve-smoke
+.PHONY: lint check bench serve-smoke crash-smoke chaos

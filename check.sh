@@ -33,3 +33,9 @@ sh scripts/ckpt_smoke.sh
 # submitted twice, byte-identical cache hit on the resubmit (verified
 # against /metrics), graceful SIGTERM drain and portfile removal.
 sh scripts/serve_smoke.sh
+
+# Crash-safety smoke: simd with -state-dir answers a job, dies by
+# SIGKILL, restarts on the same state directory, and must serve the
+# same spec byte-identically from its recovered journal without
+# re-running the engine.
+sh scripts/crash_smoke.sh

@@ -51,16 +51,35 @@ func main() {
 			"write the bound host:port to this file once listening (for scripts)")
 		checkpoints = flag.Bool("checkpoints", false,
 			"fork sweep jobs from cached prefix snapshots (byte-identical results)")
+		stateDir = flag.String("state-dir", "",
+			"crash-safe persistence directory: results journal to a WAL and prefix\n"+
+				"checkpoints to disk, and a restarted daemon recovers both (empty = in-memory)")
+		runBudget = flag.Duration("run-budget", 0,
+			"per-attempt wall budget; an over-budget run aborts with a structured\n"+
+				"transient error instead of wedging its worker (0 = none)")
+		retries = flag.Int("retries", 0,
+			"max retries of a transiently-failed run (0 = default of 2, negative = off)")
+		hedgeAfter = flag.Duration("hedge-after", 0,
+			"launch a second identical attempt for jobs still running after this long;\n"+
+				"the first published result wins (0 = off)")
 	)
 	flag.Parse()
 
-	srv := simserve.New(simserve.Config{
+	srv, err := simserve.Open(simserve.Config{
 		Workers:      *workers,
 		Backlog:      *backlog,
 		CacheEntries: *cacheEntries,
 		WaitTimeout:  *waitTimeout,
 		Checkpoints:  *checkpoints,
+		StateDir:     *stateDir,
+		RunBudget:    *runBudget,
+		MaxRetries:   *retries,
+		HedgeAfter:   *hedgeAfter,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DiskStore persists checkpoint blobs (and negative entries) as one
+// file per key under a directory, so prefix snapshots survive process
+// restarts (simd -state-dir) and can be shared across processes.
+//
+// Crash safety comes from atomic publication: every Put writes to a
+// temporary file in the same directory and renames it into place, so a
+// reader (including a restarted simd) only ever sees complete files. A
+// kill -9 mid-write leaves at most a stray temp file, which Open
+// removes. Integrity comes from content verification: each file embeds
+// its key and the SHA-256 of its blob, and Get re-hashes on read —
+// a torn, bit-flipped, or foreign file is a miss, never bad state.
+//
+// The file layout (little-endian, mirroring the checkpoint encoding):
+//
+//	"NXDSK1"                magic
+//	u8   flag               0 = negative entry, 1 = blob follows
+//	u32  len(key) | key
+//	u32  len(blob) | blob   (absent for negative entries)
+//	32B  sha256(blob)       (sha256 of empty for negative entries)
+type DiskStore struct {
+	dir string
+
+	// Counters (guarded by the owning Store's lock when attached, or
+	// externally synchronized otherwise).
+	hits, misses, corrupt, puts uint64
+}
+
+const diskMagic = "NXDSK1"
+
+// NewDiskStore opens (creating if needed) a blob directory and sweeps
+// any temp files a crashed writer left behind.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	for _, de := range names {
+		if !de.IsDir() && len(de.Name()) > 4 && de.Name()[:4] == "tmp-" {
+			_ = os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path maps a key to its file: the hex SHA-256 of the key, so arbitrary
+// key strings never escape into filenames.
+func (d *DiskStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".ckpt")
+}
+
+// Put persists blob under key (nil blob records a negative entry)
+// atomically. Write errors are returned but safe to ignore: the disk
+// tier is an optimization, never a correctness dependency.
+func (d *DiskStore) Put(key string, blob []byte) error {
+	var buf bytes.Buffer
+	buf.WriteString(diskMagic)
+	if blob == nil {
+		buf.WriteByte(0)
+	} else {
+		buf.WriteByte(1)
+	}
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(key)))
+	buf.Write(lb[:])
+	buf.WriteString(key)
+	if blob != nil {
+		binary.LittleEndian.PutUint32(lb[:], uint32(len(blob)))
+		buf.Write(lb[:])
+		buf.Write(blob)
+	}
+	sum := sha256.Sum256(blob)
+	buf.Write(sum[:])
+
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: disk put: %w", err)
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("checkpoint: disk put: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: disk put: %w", err)
+	}
+	d.puts++
+	return nil
+}
+
+// Get loads the entry for key. ok distinguishes "no usable entry" from
+// a hit; a negative entry returns (nil, true). Corrupt or mismatched
+// files (bad magic, wrong key, failed checksum, truncation) are removed
+// and reported as misses — the caller recomputes.
+func (d *DiskStore) Get(key string) (blob []byte, ok bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.misses++
+		return nil, false
+	}
+	blob, ok = decodeDiskEntry(data, key)
+	if !ok {
+		d.corrupt++
+		_ = os.Remove(d.path(key))
+		return nil, false
+	}
+	d.hits++
+	return blob, true
+}
+
+// decodeDiskEntry validates one disk file against its expected key.
+func decodeDiskEntry(data []byte, key string) (blob []byte, ok bool) {
+	if len(data) < len(diskMagic)+1+4 || string(data[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	off := len(diskMagic)
+	flag := data[off]
+	off++
+	kl := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+kl > len(data) || string(data[off:off+kl]) != key {
+		return nil, false
+	}
+	off += kl
+	if flag == 1 {
+		if off+4 > len(data) {
+			return nil, false
+		}
+		bl := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+bl > len(data) {
+			return nil, false
+		}
+		blob = append([]byte(nil), data[off:off+bl]...)
+		off += bl
+	}
+	if off+sha256.Size != len(data) {
+		return nil, false
+	}
+	sum := sha256.Sum256(blob)
+	if !bytes.Equal(sum[:], data[off:]) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// DiskStats is a point-in-time snapshot of disk-tier counters.
+type DiskStats struct {
+	Hits    uint64
+	Misses  uint64
+	Corrupt uint64
+	Puts    uint64
+}
+
+// Stats returns current counters.
+func (d *DiskStore) Stats() DiskStats {
+	return DiskStats{Hits: d.hits, Misses: d.misses, Corrupt: d.corrupt, Puts: d.puts}
+}

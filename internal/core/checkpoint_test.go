@@ -136,6 +136,74 @@ func TestCheckpointContentAddressed(t *testing.T) {
 	}
 }
 
+// restoreTarget builds a fresh system + program and returns a closure
+// that attempts to restore a (possibly damaged) blob into it.
+func restoreTarget(t *testing.T, bench string) func([]byte) error {
+	t.Helper()
+	b, _ := workloads.ByName(bench)
+	cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
+		Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42}
+	sys := core.Build(cfg)
+	prog := b.Build(&sys.Ctx)
+	return func(blob []byte) error { return sys.RestoreCheckpoint(blob, prog) }
+}
+
+// TestRestoreCorruptBlob: restoring a damaged checkpoint must fail with
+// an error, never panic or silently accept. Truncations, header damage
+// and framing damage must all be detected.
+func TestRestoreCorruptBlob(t *testing.T) {
+	blob := checkpointOf(t, "vta-resnet18", nil)
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad-magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			copy(c, "WRONG!")
+			return c
+		}},
+		{"truncated-header", func(b []byte) []byte { return b[:4] }},
+		{"truncated-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated-one", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"trailing-garbage", func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0xDE, 0xAD)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			restore := restoreTarget(t, "vta-resnet18")
+			if err := restore(tc.mangle(blob)); err == nil {
+				t.Fatal("corrupt blob restored without error")
+			}
+		})
+	}
+}
+
+// TestRestoreBitFlippedBlob sweeps single-bit flips across the blob:
+// every attempt must return normally (error or not) — a panic anywhere
+// fails the test. Flips in payload bytes may decode "successfully" into
+// different-but-well-formed state; that is acceptable (integrity is the
+// disk tier's checksum job), crashing is not.
+func TestRestoreBitFlippedBlob(t *testing.T) {
+	blob := checkpointOf(t, "vta-resnet18", nil)
+	// Stride through the blob so the test stays fast on large snapshots.
+	stride := len(blob)/97 + 1
+	for off := 0; off < len(blob); off += stride {
+		c := append([]byte(nil), blob...)
+		c[off] ^= 0x10
+		restore := restoreTarget(t, "vta-resnet18")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit flip at offset %d: restore panicked: %v", off, r)
+				}
+			}()
+			_ = restore(c)
+		}()
+	}
+}
+
 func TestCheckpointRefusals(t *testing.T) {
 	// Non-NEX host cannot checkpoint; RunPrefix degrades to a full run.
 	b, _ := workloads.ByName("jpeg-decode")

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"nexsim/internal/cpu"
 	"nexsim/internal/dram"
 	"nexsim/internal/exacthost"
+	"nexsim/internal/faults"
 	"nexsim/internal/interconnect"
 	"nexsim/internal/mem"
 	"nexsim/internal/memsys"
@@ -124,11 +126,36 @@ type Config struct {
 	// integration (§A.2's comparison).
 	UseChannel bool
 
+	// Budget bounds the run (watchdog): a run that exceeds it aborts
+	// with a structured ErrBudgetExceeded from TryRun instead of
+	// running (or hanging) forever. The zero value is unlimited.
+	Budget Budget
+
+	// Faults is the per-run deterministic fault injector (nil = none);
+	// it is threaded through the engines' device-dispatch path and every
+	// SimBricks channel.
+	Faults *faults.Injector
+
 	// Trace enables coarse-grained trace recording.
 	Trace *trace.Recorder
 
 	Seed uint64
 }
+
+// Budget is a per-run watchdog: MaxEpochs caps NEX scheduler epochs
+// (the exact-time hosts apply it to event-queue steps, their closest
+// analogue), MaxWall caps host wall-clock time. Zero fields are
+// unlimited.
+type Budget struct {
+	MaxEpochs int64
+	MaxWall   time.Duration
+}
+
+// ErrBudgetExceeded reports a run aborted by its Budget. The abort is
+// cooperative and structured: the engine stops within one epoch (or
+// step/wall check) of the bound, every thread goroutine is reaped, and
+// TryRun returns an error wrapping this sentinel.
+var ErrBudgetExceeded = errors.New("core: run budget exceeded")
 
 // Ctx is handed to workload builders: where the devices live and how to
 // reach memory.
@@ -155,6 +182,7 @@ type System struct {
 	Channels []*simbricks.Channel
 	runRef   func(prog app.Program) Result
 	nexEng   *nex.Engine
+	exactEng *exacthost.Engine
 	gem5CPU  *cpu.Model
 	caches   []*cachesim.Cache
 }
@@ -234,6 +262,7 @@ func Build(cfg Config) *System {
 		dev := newDevice(cfg.Model, cfg.Accel, cfg.AccelClock)
 		if cfg.UseChannel {
 			ch := simbricks.NewChannel(0)
+			ch.SetFaults(cfg.Faults)
 			sys.Channels = append(sys.Channels, ch)
 			dev = simbricks.WrapDevice(dev, ch)
 		}
@@ -259,6 +288,9 @@ func Build(cfg Config) *System {
 		ncfg.Memory = m
 		ncfg.Trace = cfg.Trace
 		ncfg.Seed = cfg.Seed
+		ncfg.MaxEpochs = cfg.Budget.MaxEpochs
+		ncfg.MaxWall = cfg.Budget.MaxWall
+		ncfg.Faults = cfg.Faults
 		eng := nex.New(ncfg)
 		for _, b := range binds {
 			db := &nex.DeviceBinding{Device: b.dev, MMIOBase: b.mmio,
@@ -279,6 +311,7 @@ func Build(cfg Config) *System {
 	case HostReference, HostGem5:
 		ecfg := exacthost.Config{
 			Clock: cfg.Clock, Cores: cfg.Cores, Memory: m, Trace: cfg.Trace,
+			MaxSteps: cfg.Budget.MaxEpochs, MaxWall: cfg.Budget.MaxWall,
 		}
 		if cfg.Host == HostGem5 {
 			model := cpu.New(cpu.Config{Clock: cfg.Clock})
@@ -286,6 +319,7 @@ func Build(cfg Config) *System {
 			sys.gem5CPU = model
 		}
 		eng := exacthost.New(ecfg)
+		sys.exactEng = eng
 		for _, b := range binds {
 			db := &exacthost.DeviceBinding{Device: b.dev, MMIOBase: b.mmio,
 				MMIOSize: 0x1_0000, DMAPort: b.dmaPort,
@@ -339,13 +373,54 @@ func (s *System) fabricConfig() interconnect.Config {
 	return interconnect.PCIe400
 }
 
-// Run executes the program on the assembled system.
+// Run executes the program on the assembled system. A budget abort
+// panics (use TryRun for the structured error); systems without a
+// Budget never abort.
 func (s *System) Run(prog app.Program) Result {
+	r, err := s.TryRun(prog)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryRun executes the program and returns a structured error when the
+// run exceeds its Budget. On abort every thread goroutine is reaped
+// (nothing leaks) and the partial Result is discarded.
+func (s *System) TryRun(prog app.Program) (Result, error) {
 	r := s.runRef(prog)
+	if s.BudgetExceeded() {
+		s.Reap()
+		return Result{}, fmt.Errorf("%s/%s run aborted after %v simulated: %w",
+			s.cfg.Host, s.cfg.Accel, r.SimTime, ErrBudgetExceeded)
+	}
 	for _, d := range s.binds {
 		r.Devices = append(r.Devices, d.Stats())
 	}
-	return r
+	return r, nil
+}
+
+// BudgetExceeded reports whether the engine aborted on its Budget.
+func (s *System) BudgetExceeded() bool {
+	if s.nexEng != nil {
+		return s.nexEng.BudgetExceeded()
+	}
+	if s.exactEng != nil {
+		return s.exactEng.BudgetExceeded()
+	}
+	return false
+}
+
+// Reap force-terminates every live thread goroutine of an abandoned
+// run (budget aborts, injected-fault panics). Idempotent; the system
+// must not be Run again afterwards.
+func (s *System) Reap() {
+	if s.nexEng != nil {
+		s.nexEng.Reap()
+	}
+	if s.exactEng != nil {
+		s.exactEng.Reap()
+	}
 }
 
 func newDevice(model AccelModel, kind AccelKind, clk vclock.Hz) accel.Device {

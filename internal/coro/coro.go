@@ -94,6 +94,7 @@ type Thread struct {
 	resume  chan struct{}
 	started bool
 	exited  bool
+	killed  bool
 
 	// Spawn handshake: the engine places the new thread here before
 	// resuming the spawner.
@@ -133,17 +134,67 @@ func (t *Thread) Resume() Request {
 }
 
 func (t *Thread) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				// A real panic in the thread body: crash the process, as an
+				// unrecovered goroutine panic always did.
+				panic(r)
+			}
+		}
+		t.req <- Request{Op: OpExit}
+	}()
 	<-t.resume
+	if t.killed {
+		panic(killSentinel{})
+	}
 	t.fn()
-	t.req <- Request{Op: OpExit}
 }
 
 // Yield hands a request to the engine and blocks until resumed. It must
 // only be called from within the thread's own goroutine (i.e. from Env
 // method implementations).
 func (t *Thread) Yield(r Request) {
+	if t.killed {
+		// Unwinding from Kill: a deferred function in the thread body
+		// tried to yield again. Keep unwinding instead of handing the
+		// engine a request it will never process.
+		panic(killSentinel{})
+	}
 	t.req <- r
 	<-t.resume
+	if t.killed {
+		panic(killSentinel{})
+	}
+}
+
+// killSentinel is the panic value Kill injects into a parked thread's
+// goroutine to unwind it; run() recovers it (and only it).
+type killSentinel struct{}
+
+// Kill force-terminates the thread: a started, not-yet-exited thread is
+// resumed one last time with the kill flag set, unwinds via a recovered
+// sentinel panic, and reports OpExit. Engines call it when abandoning a
+// run mid-flight (budget aborts) so no goroutine is left blocked on the
+// handshake channel. Must be called from the engine side, with the
+// thread parked in Yield/first-resume (the only states a non-running
+// thread can be in). Safe on exited or never-started threads.
+func (t *Thread) Kill() {
+	if t.exited {
+		return
+	}
+	t.killed = true
+	if !t.started {
+		// No goroutine exists yet; nothing to unwind.
+		t.exited = true
+		return
+	}
+	t.resume <- struct{}{}
+	r := <-t.req
+	if r.Op != OpExit {
+		panic(fmt.Sprintf("coro: killed thread %s yielded %v instead of exiting", t.Name, r.Op))
+	}
+	t.exited = true
 }
 
 // Exited reports whether the thread function has returned.

@@ -103,3 +103,72 @@ func TestManyThreadsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestKillParkedThreadUnwinds(t *testing.T) {
+	deferred := false
+	reached := false
+	th := NewThread(0, "victim", func() {
+		defer func() { deferred = true }()
+		th2 := th2ref
+		th2.Yield(Request{Op: OpPark})
+		reached = true
+	})
+	th2ref = th
+	if r := th.Resume(); r.Op != OpPark {
+		t.Fatalf("expected park, got %v", r.Op)
+	}
+	th.Kill()
+	if !th.Exited() {
+		t.Fatal("killed thread not marked exited")
+	}
+	if !deferred {
+		t.Fatal("thread deferred cleanup did not run during kill unwind")
+	}
+	if reached {
+		t.Fatal("thread body continued past the kill point")
+	}
+}
+
+var th2ref *Thread
+
+func TestKillNeverStartedThread(t *testing.T) {
+	th := NewThread(0, "unborn", func() { t.Fatal("must never run") })
+	th.Kill()
+	if !th.Exited() {
+		t.Fatal("never-started thread not exited after kill")
+	}
+	th.Kill() // idempotent
+}
+
+func TestKillExitedThreadIsNoOp(t *testing.T) {
+	th := NewThread(0, "done", func() {})
+	if r := th.Resume(); r.Op != OpExit {
+		t.Fatalf("expected exit, got %v", r.Op)
+	}
+	th.Kill()
+	if !th.Exited() {
+		t.Fatal("exited flag lost")
+	}
+}
+
+func TestKillThreadWhoseDeferYields(t *testing.T) {
+	// A deferred function that tries to Yield during the kill unwind must
+	// keep unwinding, not deadlock the engine.
+	th := NewThread(0, "yield-in-defer", func() {
+		defer func() {
+			th3ref.Yield(Request{Op: OpUnpark})
+			t.Fatal("yield during kill unwind must not return")
+		}()
+		th3ref.Yield(Request{Op: OpPark})
+	})
+	th3ref = th
+	if r := th.Resume(); r.Op != OpPark {
+		t.Fatalf("expected park, got %v", r.Op)
+	}
+	th.Kill()
+	if !th.Exited() {
+		t.Fatal("thread with yielding defer not killed")
+	}
+}
+
+var th3ref *Thread

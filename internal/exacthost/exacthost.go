@@ -15,6 +15,7 @@ package exacthost
 
 import (
 	"fmt"
+	"time"
 
 	"nexsim/internal/accel"
 	"nexsim/internal/app"
@@ -71,6 +72,13 @@ type Config struct {
 	// Slice is the CFS scheduling slice when cores are oversubscribed;
 	// default 3ms.
 	Slice vclock.Duration
+	// MaxSteps aborts the run after this many event-queue steps — the
+	// exact engine's closest analogue of NEX's epoch budget (0 =
+	// unlimited). MaxWall aborts after this much host wall-clock time
+	// (0 = unlimited). An aborted engine sets BudgetExceeded; the
+	// caller must Reap it.
+	MaxSteps int64
+	MaxWall  time.Duration
 }
 
 // Engine is an exact-time host simulator instance.
@@ -89,6 +97,12 @@ type Engine struct {
 	runq    []*tstate // runnable, waiting for a core, sorted by vruntime
 	running int       // threads currently holding cores
 	minvr   vclock.Duration
+
+	// Watchdog budget state.
+	threads   []*coro.Thread // every thread ever created (for Reap)
+	steps     int64          // event-queue steps taken
+	wallStart time.Time
+	exceeded  bool
 
 	// Statistics.
 	Interactions int64
@@ -162,12 +176,42 @@ type Result struct {
 	Threads int
 }
 
-// Run executes the program to completion and returns the simulated time.
+// Run executes the program to completion (or until its budget is
+// exceeded — check BudgetExceeded and Reap on abort) and returns the
+// simulated time.
 func (e *Engine) Run(prog app.Program) Result {
 	main := e.newThread("main", prog.Main)
 	e.wakeAt(main, 0)
+	if e.cfg.MaxWall > 0 {
+		e.wallStart = time.Now() //simlint:allow nondet-time watchdog wall budget, never simulation state
+	}
 	e.loop()
 	return Result{SimTime: e.evq.Now().Sub(0), Threads: e.nextTID}
+}
+
+// overBudget reports whether the run blew its step or wall budget. The
+// step bound is exact; the wall bound is amortized over 1024 steps.
+func (e *Engine) overBudget() bool {
+	e.steps++
+	if e.cfg.MaxSteps > 0 && e.steps > e.cfg.MaxSteps {
+		return true
+	}
+	if e.cfg.MaxWall > 0 && e.steps&1023 == 0 && time.Since(e.wallStart) > e.cfg.MaxWall { //simlint:allow nondet-time watchdog wall budget, never simulation state
+		return true
+	}
+	return false
+}
+
+// BudgetExceeded reports whether the last Run aborted on its budget.
+func (e *Engine) BudgetExceeded() bool { return e.exceeded }
+
+// Reap force-terminates every live thread goroutine of an abandoned run
+// (see coro.Kill). The engine must not be used afterwards.
+func (e *Engine) Reap() {
+	for _, th := range e.threads {
+		th.Kill()
+	}
+	e.live = 0
 }
 
 // Now returns current virtual time.
@@ -181,6 +225,7 @@ func (e *Engine) newThread(name string, fn app.ThreadFunc) *coro.Thread {
 		fn(&env{e: e, th: th})
 	})
 	th.Data = &tstate{th: th}
+	e.threads = append(e.threads, th)
 	e.live++
 	return th
 }
@@ -469,6 +514,10 @@ func (e *Engine) minDeviceNext() (vclock.Time, bool) {
 // activity in exact time order.
 func (e *Engine) loop() {
 	for e.live > 0 {
+		if e.overBudget() {
+			e.exceeded = true
+			return
+		}
 		tNext, okT := e.evq.NextTime()
 		dNext, okD := e.minDeviceNext()
 		if okD && (!okT || dNext < tNext) {

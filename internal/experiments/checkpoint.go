@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"nexsim/internal/checkpoint"
 	"nexsim/internal/core"
+	"nexsim/internal/faults"
 	"nexsim/internal/vclock"
 	"nexsim/internal/workloads"
 )
@@ -44,8 +46,39 @@ func CheckpointsEnabled() bool { return checkpointsOn }
 // (exposed by simserve's /metrics).
 func CheckpointStats() checkpoint.StoreStats { return ckptStore.Stats() }
 
-// ResetCheckpointStore drops every cached prefix (tests).
+// ResetCheckpointStore drops every cached prefix (tests). Any attached
+// disk tier is dropped with it.
 func ResetCheckpointStore() { ckptStore = checkpoint.NewStore(256 << 20) }
+
+// SetCheckpointDisk attaches a persistent tier under dir to the prefix
+// store: warmed prefixes are written through to disk and survive
+// process restarts (simd -state-dir), where a fresh daemon's memory
+// misses fall through to the recovered blobs. Set before experiments
+// run, like SetCheckpoints.
+func SetCheckpointDisk(dir string) error {
+	d, err := checkpoint.NewDiskStore(dir)
+	if err != nil {
+		return err
+	}
+	ckptStore.AttachDisk(d)
+	return nil
+}
+
+// chaosSleep implements an OpDelay fault at a host-side site (store
+// access, pool worker pickup), where there is no virtual clock to
+// shift: a wall-clock stall of the fault's DelayPS, clamped to 50ms so
+// a chaotic spec cannot wedge a worker. The stall never feeds
+// simulation state — simulated results are byte-identical with and
+// without it.
+func chaosSleep(delayPS int64) {
+	d := time.Duration(delayPS/1000) * time.Nanosecond
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 0 {
+		time.Sleep(d) //simlint:allow nondet-time bounded chaos stall, never simulation state
+	}
+}
 
 // prefixShareable reports whether a run can fork from a shared prefix:
 // a NEX host driving at least one accelerator, without trace recording
@@ -68,6 +101,13 @@ func prefixConfig(cfg core.Config) core.Config {
 	cfg.DMATarget = core.DMALLC
 	cfg.UseChannel = false
 	cfg.IOTLB = nil
+	// The prefix run itself is never faulted or budgeted: the blob is
+	// shared across specs (and attempts) whose plans differ, so its
+	// content must not depend on them. No engine fault site can fire
+	// before the first device interaction anyway — injection happens at
+	// the wrapping store sites and in the forked continuation.
+	cfg.Budget = core.Budget{}
+	cfg.Faults = nil
 	return cfg
 }
 
@@ -98,6 +138,14 @@ func prefixKey(bench string, cfg core.Config) string {
 // device (cached as a negative entry so the group falls back to
 // straight runs without re-probing).
 func warmPrefix(b workloads.Bench, cfg core.Config) ([]byte, error) {
+	if inj := cfg.Faults.Hit(faults.SiteStorePut); inj != nil {
+		if inj.Op == faults.OpFail {
+			// Publish path down: the group degrades to straight runs —
+			// correctness never depends on the cache.
+			return nil, fmt.Errorf("experiments: prefix publish: %w", inj)
+		}
+		chaosSleep(inj.Delay)
+	}
 	key := prefixKey(b.Name, cfg)
 	blob, _, err := ckptStore.GetOrCompute(key, func() ([]byte, error) {
 		psys := core.Build(prefixConfig(cfg))
@@ -118,23 +166,72 @@ func warmPrefix(b workloads.Bench, cfg core.Config) ([]byte, error) {
 // failure (a program whose yield sequence diverges from the cached
 // prefix) falls back to a straight run — correctness never depends on
 // the cache.
-func executeRun(b workloads.Bench, cfg core.Config) core.Result {
-	if checkpointsOn && prefixShareable(b, cfg) {
-		if blob, ok := ckptStore.Get(prefixKey(b.Name, cfg)); ok && blob != nil {
-			sys := core.Build(cfg)
-			prog := b.Build(&sys.Ctx)
-			if rerr := sys.RestoreCheckpoint(blob, prog); rerr == nil {
-				r := sys.ResumeRun()
-				sys.Release()
-				return r
+//
+// It is also the fault boundary: an OpFail fault firing at an engine
+// site panics with its *faults.Injected, which the deferred recover
+// here converts into an error after reaping the engine's parked
+// threads (no goroutine leaks, under -race). A fault-free, unbudgeted
+// configuration takes the exact code path it always did and cannot
+// return an error.
+func executeRun(b workloads.Bench, cfg core.Config) (res core.Result, err error) {
+	var sys *core.System
+	if cfg.Faults != nil {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
 			}
-			sys.Release() // fall back to a straight run on a fresh build
+			if !faults.IsInjected(r) {
+				panic(r)
+			}
+			if sys != nil {
+				sys.Reap()
+				sys.Release()
+			}
+			res, err = core.Result{}, fmt.Errorf("experiments: run aborted by %w", r.(error))
+		}()
+		if inj := cfg.Faults.Hit(faults.SitePoolWorker); inj != nil {
+			if inj.Op == faults.OpFail {
+				return core.Result{}, fmt.Errorf("experiments: %w", inj)
+			}
+			chaosSleep(inj.Delay)
 		}
 	}
-	sys := core.Build(cfg)
-	r := sys.Run(b.Build(&sys.Ctx))
+	if checkpointsOn && prefixShareable(b, cfg) {
+		useCache := true
+		if inj := cfg.Faults.Hit(faults.SiteStoreGet); inj != nil {
+			if inj.Op == faults.OpFail {
+				useCache = false // degraded cache: fall back to a straight run
+			} else {
+				chaosSleep(inj.Delay)
+			}
+		}
+		if useCache {
+			if blob, ok := ckptStore.Get(prefixKey(b.Name, cfg)); ok && blob != nil {
+				sys = core.Build(cfg)
+				prog := b.Build(&sys.Ctx)
+				if rerr := sys.RestoreCheckpoint(blob, prog); rerr == nil {
+					r := sys.ResumeRun()
+					if sys.BudgetExceeded() {
+						sys.Reap()
+						sys.Release()
+						return core.Result{}, fmt.Errorf("%s/%s run aborted after %v simulated: %w",
+							cfg.Host, cfg.Accel, r.SimTime, core.ErrBudgetExceeded)
+					}
+					sys.Release()
+					return r, nil
+				}
+				sys.Release() // fall back to a straight run on a fresh build
+			}
+		}
+	}
+	sys = core.Build(cfg)
+	r, rerr := sys.TryRun(b.Build(&sys.Ctx))
 	sys.Release()
-	return r
+	if rerr != nil {
+		return core.Result{}, rerr
+	}
+	return r, nil
 }
 
 // PrefixGroups partitions normalized specs into groups that share one

@@ -133,7 +133,12 @@ func run(b workloads.Bench, host core.HostKind, acc core.AccelKind, o runOpts) c
 	cfg.NEX.PhysicalCores = o.nexPCores
 	cfg.NEX.Mode = o.nexMode
 	cfg.NEX.SyncInterval = o.nexSyncInt
-	return executeRun(b, cfg)
+	r, err := executeRun(b, cfg)
+	if err != nil {
+		// Unreachable: table runs carry no fault plan or budget.
+		panic(err)
+	}
+	return r
 }
 
 // benchByName panics on unknown names (experiments reference a fixed

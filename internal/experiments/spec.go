@@ -5,8 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"nexsim/internal/core"
+	"nexsim/internal/faults"
 	"nexsim/internal/interconnect"
 	"nexsim/internal/nex"
 	"nexsim/internal/vclock"
@@ -50,6 +52,28 @@ type Spec struct {
 	LinkLatencyNS int64  `json:"link_latency_ns,omitempty"` // fabric one-way latency
 	DMATarget     string `json:"dma_target,omitempty"`      // "llc" | "l2" (default "llc")
 	UseChannel    bool   `json:"use_channel,omitempty"`
+
+	// Robustness overrides. MaxEpochs bounds the host engine (NEX epochs
+	// or exact-host steps; 0 = unbounded) — an over-budget run aborts
+	// with core.ErrBudgetExceeded instead of wedging its worker. Faults
+	// is a deterministic fault plan evaluated by internal/faults: the
+	// plan is part of the content-addressed spec, so re-submitting a
+	// failing run re-fires the same fault at the same site crossing.
+	// Both are omitempty, so fault-free specs keep their historical
+	// content addresses.
+	MaxEpochs int64       `json:"max_epochs,omitempty"`
+	Faults    []FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the wire form of one fault in a spec's plan (lowered to
+// faults.Fault). See internal/faults for the firing semantics.
+type FaultSpec struct {
+	Site     string  `json:"site"`               // one of faults.Sites()
+	Op       string  `json:"op,omitempty"`       // "fail" (default) | "delay"
+	Hit      int64   `json:"hit,omitempty"`      // fire on the nth site crossing (default: first)
+	Attempts int     `json:"attempts,omitempty"` // armed only while attempt < this (0 = every attempt)
+	Rate     float64 `json:"rate,omitempty"`     // probabilistic firing in [0,1] (0 = scheduled only)
+	DelayPS  int64   `json:"delay_ps,omitempty"` // delay magnitude (default 1µs for delay ops)
 }
 
 // hostKinds / accelKinds / syncModes / dmaTargets map the spec's string
@@ -164,7 +188,69 @@ func (s Spec) Normalized() (Spec, error) {
 	if s.LinkLatencyNS == 0 {
 		s.LinkLatencyNS = int64(fabricProfiles[s.Fabric].LinkLatency / vclock.Nanosecond)
 	}
+	if s.MaxEpochs < 0 {
+		return Spec{}, fmt.Errorf("experiments: spec field max_epochs must not be negative")
+	}
+	if len(s.Faults) > 0 {
+		fs := make([]FaultSpec, len(s.Faults))
+		copy(fs, s.Faults)
+		for i := range fs {
+			f := &fs[i]
+			if !faults.KnownSite(f.Site) {
+				return Spec{}, fmt.Errorf("experiments: fault %d: unknown site %q (want one of %v)", i, f.Site, faults.Sites())
+			}
+			if f.Op == "" {
+				f.Op = faults.OpFail.String()
+			}
+			op, err := faults.ParseOp(f.Op)
+			if err != nil {
+				return Spec{}, fmt.Errorf("experiments: fault %d: %w", i, err)
+			}
+			if f.Hit < 0 || f.Attempts < 0 || f.DelayPS < 0 {
+				return Spec{}, fmt.Errorf("experiments: fault %d: hit, attempts and delay_ps must not be negative", i)
+			}
+			if f.Rate < 0 || f.Rate > 1 {
+				return Spec{}, fmt.Errorf("experiments: fault %d: rate must be in [0, 1]", i)
+			}
+			switch op {
+			case faults.OpDelay:
+				if f.DelayPS == 0 {
+					f.DelayPS = int64(vclock.Microsecond)
+				}
+			default:
+				f.DelayPS = 0 // meaningless for fail; canonicalize away
+			}
+			if f.Hit == 0 && f.Rate == 0 {
+				f.Hit = 1
+			}
+		}
+		s.Faults = fs
+	}
 	return s, nil
+}
+
+// faultPlan lowers the normalized wire plan into the injector's form.
+func faultPlan(n Spec) []faults.Fault {
+	plan := make([]faults.Fault, len(n.Faults))
+	for i, f := range n.Faults {
+		op, _ := faults.ParseOp(f.Op) // validated by Normalized
+		plan[i] = faults.Fault{Site: f.Site, Op: op, Hit: f.Hit,
+			Attempts: f.Attempts, Rate: f.Rate, Delay: f.DelayPS}
+	}
+	return plan
+}
+
+// applyRobustness installs the spec's budget and fault plan on an
+// engine configuration for one run attempt. wall is the caller's
+// per-run wall budget (simserve's -run-budget; 0 = none). The injector
+// seed derives from the spec seed, so the same spec re-fires the same
+// schedule; attempt distinguishes retries.
+func applyRobustness(cfg *core.Config, n Spec, attempt int, wall time.Duration) {
+	cfg.Budget.MaxEpochs = n.MaxEpochs
+	cfg.Budget.MaxWall = wall
+	if len(n.Faults) > 0 {
+		cfg.Faults = faults.NewInjector(n.Seed, attempt, faultPlan(n))
+	}
 }
 
 // CanonicalJSON returns the canonical encoding of the normalized spec:
@@ -193,12 +279,22 @@ func (s Spec) ID() (string, error) {
 // result. It is the structured twin of the table experiments' internal
 // run helper: the daemon submits Specs over HTTP, experiments enumerate
 // them in code, and both execute through this one path.
-func RunSpec(s Spec) (core.Result, error) {
+func RunSpec(s Spec) (core.Result, error) { return RunSpecAttempt(s, 0, 0) }
+
+// RunSpecAttempt executes one spec as run attempt number attempt, under
+// an optional per-run wall budget. The attempt number feeds the fault
+// injector: Attempts-windowed faults expire on later attempts (the
+// self-healing retry path) and Rate draws differ per attempt. A
+// fault-free spec ignores attempt entirely, so retrying a deterministic
+// run cannot change its result.
+func RunSpecAttempt(s Spec, attempt int, wall time.Duration) (core.Result, error) {
 	n, err := s.Normalized()
 	if err != nil {
 		return core.Result{}, err
 	}
-	return runNormalized(n), nil
+	b, cfg := buildNormalized(n)
+	applyRobustness(&cfg, n, attempt, wall)
+	return executeRun(b, cfg)
 }
 
 // RunSpecs validates every spec up front, executes them through the
@@ -224,6 +320,7 @@ func RunSpecs(specs []Spec) ([]core.Result, error) {
 				continue
 			}
 			b, cfg := buildNormalized(norm[g[0]])
+			applyRobustness(&cfg, norm[g[0]], 0, 0)
 			warm = append(warm, func() struct{} {
 				// A warm failure is not fatal: the per-spec jobs fall
 				// back to straight runs.
@@ -272,8 +369,16 @@ func buildNormalized(n Spec) (workloads.Bench, core.Config) {
 	return b, cfg
 }
 
-// runNormalized assembles and runs one already-normalized spec.
+// runNormalized assembles and runs one already-normalized spec. It
+// panics on a run error (injected fault or budget abort): the sweep
+// paths that use it (RunSpecs, tables) run fault-free plans, where
+// executeRun cannot fail.
 func runNormalized(n Spec) core.Result {
 	b, cfg := buildNormalized(n)
-	return executeRun(b, cfg)
+	applyRobustness(&cfg, n, 0, 0)
+	r, err := executeRun(b, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

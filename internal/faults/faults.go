@@ -1,0 +1,272 @@
+// Package faults is the deterministic fault-injection layer: named
+// injection sites threaded through the simulation stack (simbricks
+// channel send/recv, NEX device dispatch, checkpoint store get/put,
+// sweep pool workers) fire scheduled or seeded-probabilistic faults
+// that reproduce byte-identically run to run.
+//
+// Determinism is the whole point. A fault schedule is part of the
+// experiment spec (experiments.Spec.Faults), so a failing run is a
+// *spec*: re-submitting it re-fires the same fault at the same hit of
+// the same site, which is what makes chaos findings debuggable and lets
+// the fault-matrix test assert exact outcomes. The package is
+// simlint-clean — no wall clock, no global math/rand; probabilistic
+// firing draws from xrand streams derived from the run's seed and the
+// caller's attempt number.
+//
+// An Injector is created per run attempt. Engines and stores call
+// Hit(site) at each site crossing; a nil Injector (the default
+// everywhere) makes every crossing a no-op, so fault-free runs execute
+// the exact instruction path they always did.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nexsim/internal/xrand"
+)
+
+// Injection sites. Each names one chokepoint in the stack; the DESIGN.md
+// fault-model section documents where each is checked.
+const (
+	// SiteChanSend / SiteChanRecv: simbricks channel message encode and
+	// decode — the co-simulation transport (a lost or delayed message).
+	SiteChanSend = "chan.send"
+	SiteChanRecv = "chan.recv"
+	// SiteDeviceDispatch: a NEX device-bound trap (MMIO interaction or
+	// tick synchronization point) — the accelerator dispatch path.
+	SiteDeviceDispatch = "device.dispatch"
+	// SiteStoreGet / SiteStorePut: checkpoint prefix-store lookups and
+	// publishes — degraded cache I/O.
+	SiteStoreGet = "store.get"
+	SiteStorePut = "store.put"
+	// SitePoolWorker: the sweep-pool worker picking up a run — a sick
+	// worker (stall or crash) at job start.
+	SitePoolWorker = "pool.worker"
+)
+
+// Sites returns every known injection site, sorted.
+func Sites() []string {
+	return []string{
+		SiteChanRecv, SiteChanSend, SiteDeviceDispatch,
+		SitePoolWorker, SiteStoreGet, SiteStorePut,
+	}
+}
+
+// KnownSite reports whether name is a registered injection site.
+func KnownSite(name string) bool {
+	for _, s := range Sites() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Op is what a firing fault does at its site.
+type Op int
+
+const (
+	// OpFail aborts the operation: engine sites panic with the *Injected
+	// (recovered into an error at the run boundary), store sites degrade
+	// to a cache miss.
+	OpFail Op = iota
+	// OpDelay lets the operation proceed late: virtual-time sites shift
+	// time forward by Delay picoseconds, host-side sites stall the
+	// worker briefly.
+	OpDelay
+)
+
+func (o Op) String() string {
+	if o == OpDelay {
+		return "delay"
+	}
+	return "fail"
+}
+
+// ParseOp maps the spec's wire spelling onto an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "fail":
+		return OpFail, nil
+	case "delay":
+		return OpDelay, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown op %q (want fail or delay)", s)
+	}
+}
+
+// Fault is one scheduled (or probabilistic) fault in a run's plan.
+type Fault struct {
+	Site string
+	Op   Op
+	// Hit fires the fault on the nth crossing of Site (1-based). 0 with
+	// Rate 0 means the first crossing; 0 with Rate > 0 means every
+	// crossing is a candidate.
+	Hit int64
+	// Attempts arms the fault only while the caller's attempt number is
+	// below it (so a retry beyond Attempts succeeds deterministically —
+	// the self-healing path's test hook). 0 arms it on every attempt.
+	Attempts int
+	// Rate fires the fault probabilistically on each crossing, drawn
+	// from a stream seeded by (seed, attempt, plan index) — reproducible
+	// chaos. 0 means scheduled-only (Hit).
+	Rate float64
+	// Delay is the virtual delay in picoseconds for OpDelay (host-side
+	// sites convert it to a bounded wall stall).
+	Delay int64
+}
+
+// ErrInjected marks every injected failure; errors.Is(err, ErrInjected)
+// classifies a failure as transient (retryable) rather than
+// deterministic.
+var ErrInjected = errors.New("injected fault")
+
+// Injected is the error (and panic value, at engine sites) a firing
+// OpFail fault produces.
+type Injected struct {
+	Site    string
+	Op      Op
+	HitN    int64 // which crossing of the site fired (1-based)
+	Attempt int
+	Delay   int64 // picoseconds, OpDelay only
+}
+
+// Error implements error.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faults: %s %s at hit %d (attempt %d)", e.Op, e.Site, e.HitN, e.Attempt)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *Injected) Unwrap() error { return ErrInjected }
+
+// IsInjected reports whether v (an error or a recovered panic value) is
+// an injected fault.
+func IsInjected(v any) bool {
+	err, ok := v.(error)
+	return ok && errors.Is(err, ErrInjected)
+}
+
+// Injector evaluates a run attempt's fault plan at each site crossing.
+// Methods are safe on a nil receiver (every call is a cheap no-op), so
+// call sites never branch on configuration. An Injector is also safe
+// for concurrent use — sites may be crossed from pool workers.
+type Injector struct {
+	attempt int
+
+	mu     sync.Mutex
+	counts map[string]int64
+	bySite map[string][]plannedFault
+}
+
+type plannedFault struct {
+	f   Fault
+	rng *xrand.Stream // per-fault stream for Rate draws
+}
+
+// NewInjector builds the injector for one run attempt. seed should
+// derive from the spec (same spec, same schedule); attempt distinguishes
+// retries so Attempts-windowed faults can expire and Rate draws differ
+// across attempts. A nil or empty plan returns nil — the no-op injector.
+func NewInjector(seed uint64, attempt int, plan []Fault) *Injector {
+	if len(plan) == 0 {
+		return nil
+	}
+	root := xrand.New(seed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	in := &Injector{
+		attempt: attempt,
+		counts:  make(map[string]int64),
+		bySite:  make(map[string][]plannedFault),
+	}
+	for i, f := range plan {
+		in.bySite[f.Site] = append(in.bySite[f.Site],
+			plannedFault{f: f, rng: root.Derive(fmt.Sprintf("fault-%d-%s", i, f.Site))})
+	}
+	return in
+}
+
+// Attempt reports which run attempt this injector belongs to.
+func (in *Injector) Attempt() int {
+	if in == nil {
+		return 0
+	}
+	return in.attempt
+}
+
+// Hit records one crossing of site and returns the fault that fires
+// there, or nil. Exactly one fault fires per crossing (plan order wins
+// ties). The per-site hit counter advances on every crossing, fired or
+// not, so schedules stay stable as faults are added.
+func (in *Injector) Hit(site string) *Injected {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[site]++
+	n := in.counts[site]
+	for i := range in.bySite[site] {
+		pf := &in.bySite[site][i]
+		if pf.f.Attempts > 0 && in.attempt >= pf.f.Attempts {
+			continue
+		}
+		fire := false
+		switch {
+		case pf.f.Rate > 0:
+			fire = pf.rng.Float64() < pf.f.Rate
+		case pf.f.Hit == 0:
+			fire = n == 1
+		default:
+			fire = n == pf.f.Hit
+		}
+		if !fire {
+			continue
+		}
+		recordFired(site)
+		return &Injected{Site: site, Op: pf.f.Op, HitN: n, Attempt: in.attempt, Delay: pf.f.Delay}
+	}
+	return nil
+}
+
+// Process-global observability counters: how many faults actually fired,
+// by site. The fault-matrix test and /metrics read these; they are
+// monotonic, so readers must diff.
+var (
+	firedMu     sync.Mutex
+	firedBySite = map[string]int64{}
+)
+
+func recordFired(site string) {
+	firedMu.Lock()
+	firedBySite[site]++
+	firedMu.Unlock()
+}
+
+// FiredTotal reports how many faults have fired process-wide.
+func FiredTotal() int64 {
+	firedMu.Lock()
+	defer firedMu.Unlock()
+	var t int64
+	for _, n := range firedBySite {
+		t += n
+	}
+	return t
+}
+
+// FiredBySite returns a copy of the per-site fired counters with keys
+// sorted (deterministic rendering).
+func FiredBySite() (sites []string, counts []int64) {
+	firedMu.Lock()
+	defer firedMu.Unlock()
+	for s := range firedBySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	counts = make([]int64, len(sites))
+	for i, s := range sites {
+		counts[i] = firedBySite[s]
+	}
+	return sites, counts
+}

@@ -3,6 +3,7 @@ package nex
 import (
 	"nexsim/internal/app"
 	"nexsim/internal/coro"
+	"nexsim/internal/faults"
 	"nexsim/internal/isa"
 	"nexsim/internal/mem"
 	"nexsim/internal/trace"
@@ -14,6 +15,12 @@ import (
 // the engine mid-epoch (e.frame set; see snapshot.go).
 func (e *Engine) loop() {
 	for e.live > 0 {
+		if e.overBudget() {
+			// Structured abort: within one epoch of the bound (the epoch
+			// check is exact), leaving threads parked for Reap.
+			e.exceeded = true
+			return
+		}
 		minWake := e.minWake()
 
 		if minWake == vclock.Never {
@@ -249,6 +256,7 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) bool {
 				continue
 			}
 			e.Stats.Traps++
+			cursor = e.dispatchFault(cursor)
 			e.advanceDevices(cursor)
 			cost := r.Interact(cursor)
 			e.traceSpan(th.Name, trace.MMIO, cursor, cursor.Add(cost))
@@ -324,8 +332,13 @@ func (e *Engine) runThreadEpoch(th *coro.Thread, start, end vclock.Time) bool {
 
 		case coro.OpTick:
 			e.Stats.Traps++
+			cursor = e.dispatchFault(cursor)
 			e.advanceDevices(cursor)
-			e.setWake(s, end)
+			wake := end
+			if cursor > wake {
+				wake = cursor
+			}
+			e.setWake(s, wake)
 			return false
 		}
 	}
@@ -361,6 +374,7 @@ func (e *Engine) resumePending(th *coro.Thread, end vclock.Time, r coro.Request)
 	switch r.Op {
 	case coro.OpInteract:
 		e.Stats.Traps++
+		cursor = e.dispatchFault(cursor)
 		e.advanceDevices(cursor)
 		cost := r.Interact(cursor)
 		e.traceSpan(th.Name, trace.MMIO, cursor, cursor.Add(cost))
@@ -371,11 +385,31 @@ func (e *Engine) resumePending(th *coro.Thread, end vclock.Time, r coro.Request)
 		e.setWake(s, wake)
 	case coro.OpTick:
 		e.Stats.Traps++
+		cursor = e.dispatchFault(cursor)
 		e.advanceDevices(cursor)
-		e.setWake(s, end)
+		wake := end
+		if cursor > wake {
+			wake = cursor
+		}
+		e.setWake(s, wake)
 	default:
 		panic("nex: resume of a non-device halt request")
 	}
+}
+
+// dispatchFault crosses the device.dispatch injection site at a
+// device-bound trap: a fail fault panics with the *faults.Injected
+// (recovered into a transient error at the run boundary, which must
+// then Reap the engine); a delay stalls the trap in virtual time.
+func (e *Engine) dispatchFault(cursor vclock.Time) vclock.Time {
+	inj := e.cfg.Faults.Hit(faults.SiteDeviceDispatch)
+	if inj == nil {
+		return cursor
+	}
+	if inj.Op == faults.OpFail {
+		panic(inj)
+	}
+	return cursor.Add(vclock.Duration(inj.Delay))
 }
 
 // scaledDuration applies the engine's accuracy model to a compute

@@ -30,10 +30,12 @@ package nex
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"nexsim/internal/accel"
 	"nexsim/internal/app"
 	"nexsim/internal/coro"
+	"nexsim/internal/faults"
 	"nexsim/internal/mem"
 	"nexsim/internal/memsys"
 	"nexsim/internal/trace"
@@ -132,6 +134,17 @@ type Config struct {
 	CalSigma   float64
 	RefillLoss vclock.Duration
 
+	// MaxEpochs aborts the run after this many scheduler epochs (0 =
+	// unlimited). MaxWall aborts after this much host wall-clock time,
+	// checked every few loop iterations (0 = unlimited). An aborted
+	// engine sets BudgetExceeded; the caller must Reap it.
+	MaxEpochs int64
+	MaxWall   time.Duration
+
+	// Faults is the per-run fault injector (nil = none). Device-bound
+	// traps cross the device.dispatch site.
+	Faults *faults.Injector
+
 	Memory         *mem.Memory
 	Trace          *trace.Recorder
 	TaskAccessCost vclock.Duration
@@ -221,6 +234,13 @@ type Engine struct {
 	haltArmed bool
 	journal   []journalEntry
 	frame     *haltFrame
+
+	// Watchdog budget state: loopTicks counts loop iterations (for the
+	// amortized wall check), wallStart anchors MaxWall, exceeded latches
+	// a budget abort.
+	loopTicks int64
+	wallStart time.Time
+	exceeded  bool
 
 	Stats Stats
 }
@@ -354,13 +374,52 @@ type Result struct {
 	Stats   Stats
 }
 
-// Run executes the program to completion.
+// Run executes the program to completion (or until its budget is
+// exceeded — check BudgetExceeded and Reap on abort).
 func (e *Engine) Run(prog app.Program) Result {
 	main := e.newThread("main", prog.Main)
 	e.setWake(st(main), 0)
 	e.nextSync = vclock.Time(e.cfg.SyncInterval)
+	e.startWatchdog()
 	e.loop()
 	return e.result()
+}
+
+// startWatchdog anchors the wall-clock budget at run (or resume) start.
+func (e *Engine) startWatchdog() {
+	if e.cfg.MaxWall > 0 {
+		e.wallStart = time.Now() //simlint:allow nondet-time watchdog wall budget, never simulation state
+	}
+}
+
+// overBudget reports whether the run blew its epoch or wall budget. The
+// epoch bound is exact (checked at every loop turn); the wall bound is
+// amortized over 64 loop iterations to keep the hot path syscall-free.
+func (e *Engine) overBudget() bool {
+	if e.cfg.MaxEpochs > 0 && e.epochIdx >= e.cfg.MaxEpochs {
+		return true
+	}
+	if e.cfg.MaxWall > 0 {
+		e.loopTicks++
+		if e.loopTicks&63 == 0 && time.Since(e.wallStart) > e.cfg.MaxWall { //simlint:allow nondet-time watchdog wall budget, never simulation state
+			return true
+		}
+	}
+	return false
+}
+
+// BudgetExceeded reports whether the last Run/ResumeRun aborted on its
+// budget. An exceeded engine holds live parked thread goroutines until
+// Reap is called.
+func (e *Engine) BudgetExceeded() bool { return e.exceeded }
+
+// Reap force-terminates every live thread goroutine of an abandoned run
+// (see coro.Kill). The engine must not be used afterwards.
+func (e *Engine) Reap() {
+	for _, th := range e.threads {
+		th.Kill()
+	}
+	e.live = 0
 }
 
 func (e *Engine) result() Result {

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 
 	"nexsim/internal/accel"
+	"nexsim/internal/faults"
 	"nexsim/internal/mem"
 	"nexsim/internal/vclock"
 )
@@ -52,10 +53,20 @@ type Channel struct {
 	ring []byte
 	head int
 
+	// faults crosses the chan.send / chan.recv injection sites on every
+	// message (nil = no-op): a fail fault drops the message by panicking
+	// with the *faults.Injected (recovered into a transient error at the
+	// run boundary), a delay shifts the message timestamp forward.
+	faults *faults.Injector
+
 	// Stats.
 	Msgs  int64
 	Bytes int64
 }
+
+// SetFaults installs the per-run fault injector on the channel's
+// send/recv sites. Call before the run starts.
+func (c *Channel) SetFaults(in *faults.Injector) { c.faults = in }
 
 // NewChannel allocates a channel with the given ring capacity (default
 // 256KB).
@@ -70,6 +81,12 @@ func NewChannel(size int) *Channel {
 // decodes it back out. Encoding and decoding are the per-message cost
 // that the tight integration avoids.
 func (c *Channel) send(typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) int {
+	if inj := c.faults.Hit(faults.SiteChanSend); inj != nil {
+		if inj.Op == faults.OpFail {
+			panic(inj)
+		}
+		ts = ts.Add(vclock.Duration(inj.Delay))
+	}
 	need := headerSize + len(payload)
 	if need > len(c.ring) {
 		// Grow once to fit the largest message seen; the ring is shared
@@ -99,6 +116,12 @@ func (c *Channel) recv(slot int) (typ byte, ts vclock.Time, addr uint64, aux uin
 	b := c.ring[slot:]
 	typ = b[0]
 	ts = vclock.Time(binary.LittleEndian.Uint64(b[1:]))
+	if inj := c.faults.Hit(faults.SiteChanRecv); inj != nil {
+		if inj.Op == faults.OpFail {
+			panic(inj)
+		}
+		ts = ts.Add(vclock.Duration(inj.Delay))
+	}
 	addr = binary.LittleEndian.Uint64(b[9:])
 	aux = binary.LittleEndian.Uint64(b[17:])
 	n := binary.LittleEndian.Uint32(b[25:])

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"nexsim/internal/checkpoint"
+	"nexsim/internal/faults"
 	"nexsim/internal/stats"
 )
 
@@ -23,6 +24,21 @@ type metrics struct {
 	cacheMisses   int64
 
 	workersBusy int64 // currently executing jobs (gauge)
+
+	// Self-healing counters.
+	retriesTotal      int64 // transient failures re-attempted
+	transientFailures int64 // jobs answered with a transient failure (retries exhausted)
+	budgetAborts      int64 // attempts aborted by core.ErrBudgetExceeded
+	hedgesLaunched    int64 // speculative second attempts started
+	hedgesWon         int64 // hedges that published first
+	hedgesWasted      int64 // attempts finishing after another published
+	hedgeMismatches   int64 // hedge/primary byte mismatches (determinism violations)
+
+	// Crash-safety counters (StateDir servers).
+	walRecoveredResults int64 // done records replayed into the cache at Open
+	walRecoveredPending int64 // interrupted jobs resubmitted at Open
+	walPendingDropped   int64 // interrupted jobs that no longer fit the queue
+	walAppendErrors     int64 // journal writes that failed (results stay in memory)
 
 	// Per-benchmark wall-time histograms (milliseconds) for completed
 	// fresh runs; cache hits cost no engine time and are not recorded.
@@ -72,6 +88,26 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEn
 	fmt.Fprintf(w, "simserve_checkpoint_hits %d\n", ck.Hits)
 	fmt.Fprintf(w, "simserve_checkpoint_misses %d\n", ck.Misses)
 	fmt.Fprintf(w, "simserve_checkpoint_evictions %d\n", ck.Evictions)
+	fmt.Fprintf(w, "simserve_checkpoint_disk_hits %d\n", ck.Disk.Hits)
+	fmt.Fprintf(w, "simserve_checkpoint_disk_misses %d\n", ck.Disk.Misses)
+	fmt.Fprintf(w, "simserve_checkpoint_disk_corrupt %d\n", ck.Disk.Corrupt)
+	fmt.Fprintf(w, "simserve_checkpoint_disk_puts %d\n", ck.Disk.Puts)
+	fmt.Fprintf(w, "simserve_retries_total %d\n", m.retriesTotal)
+	fmt.Fprintf(w, "simserve_transient_failures %d\n", m.transientFailures)
+	fmt.Fprintf(w, "simserve_budget_aborts %d\n", m.budgetAborts)
+	fmt.Fprintf(w, "simserve_hedges_launched %d\n", m.hedgesLaunched)
+	fmt.Fprintf(w, "simserve_hedges_won %d\n", m.hedgesWon)
+	fmt.Fprintf(w, "simserve_hedges_wasted %d\n", m.hedgesWasted)
+	fmt.Fprintf(w, "simserve_hedge_mismatches %d\n", m.hedgeMismatches)
+	fmt.Fprintf(w, "simserve_wal_recovered_results %d\n", m.walRecoveredResults)
+	fmt.Fprintf(w, "simserve_wal_recovered_pending %d\n", m.walRecoveredPending)
+	fmt.Fprintf(w, "simserve_wal_pending_dropped %d\n", m.walPendingDropped)
+	fmt.Fprintf(w, "simserve_wal_append_errors %d\n", m.walAppendErrors)
+	fmt.Fprintf(w, "simserve_faults_fired_total %d\n", faults.FiredTotal())
+	sites, counts := faults.FiredBySite()
+	for i, site := range sites {
+		fmt.Fprintf(w, "simserve_faults_fired{site=%q} %d\n", site, counts[i])
+	}
 
 	benches := make([]string, 0, len(m.benchWall))
 	for b := range m.benchWall {

@@ -28,7 +28,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -36,8 +39,10 @@ import (
 	"nexsim/internal/accel"
 	"nexsim/internal/core"
 	"nexsim/internal/experiments"
+	"nexsim/internal/faults"
 	"nexsim/internal/nex"
 	"nexsim/internal/sweep"
+	"nexsim/internal/xrand"
 )
 
 // Config parameterizes a Server.
@@ -58,9 +63,36 @@ type Config struct {
 	// byte-identical either way; the prefix store's counters surface on
 	// /metrics.
 	Checkpoints bool
-	// Runner executes one normalized spec (default: experiments.RunSpec).
-	// Tests inject instrumented runners here.
-	Runner func(experiments.Spec) (core.Result, error)
+	// MaxRetries caps how many times a transiently-failed run (injected
+	// fault, budget abort) is re-attempted before its failure is
+	// returned. Default 2; negative disables retries. Deterministic
+	// failures are never retried — same spec, same failure.
+	MaxRetries int
+	// RetryBackoff is the pre-retry pause before attempt 1 (default
+	// 25ms), doubling per attempt, capped at 1s, with ±25% jitter drawn
+	// deterministically from the spec's content address — the same spec
+	// backs off the same way every time.
+	RetryBackoff time.Duration
+	// HedgeAfter, when > 0, launches a second identical attempt for any
+	// job still unpublished after this long. The first published result
+	// wins; the loser is byte-compared against it (a mismatch is a
+	// determinism violation, counted on /metrics). 0 disables hedging.
+	HedgeAfter time.Duration
+	// RunBudget is the per-attempt wall budget handed to the engine
+	// watchdogs (0 = none): an over-budget run aborts with
+	// core.ErrBudgetExceeded (transient — retried, never cached) instead
+	// of wedging its worker.
+	RunBudget time.Duration
+	// StateDir enables crash-safe persistence: answered results and
+	// pending jobs journal to StateDir/results.wal (replayed on Open so
+	// a killed daemon recovers its cache and re-runs in-flight work),
+	// and prefix checkpoints write through to StateDir/checkpoints.
+	// Empty means fully in-memory.
+	StateDir string
+	// Runner executes one normalized spec as the given attempt number
+	// (default: experiments.RunSpecAttempt under RunBudget). Tests
+	// inject instrumented runners here.
+	Runner func(experiments.Spec, int) (core.Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -76,8 +108,20 @@ func (c Config) withDefaults() Config {
 	if c.WaitTimeout <= 0 {
 		c.WaitTimeout = 60 * time.Second
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
 	if c.Runner == nil {
-		c.Runner = func(s experiments.Spec) (core.Result, error) { return experiments.RunSpec(s) }
+		budget := c.RunBudget
+		c.Runner = func(s experiments.Spec, attempt int) (core.Result, error) {
+			return experiments.RunSpecAttempt(s, attempt, budget)
+		}
 	}
 	return c
 }
@@ -95,6 +139,28 @@ type JobResult struct {
 	NEXStats  nex.Stats           `json:"nex_stats"`
 	Devices   []accel.DeviceStats `json:"devices,omitempty"`
 	Error     string              `json:"error,omitempty"`
+	// ErrorKind classifies a failure: deterministic failures (bad spec,
+	// engine panic) are cached forever — same spec, same failure —
+	// while transient ones (injected fault, budget abort) were already
+	// retried, are never cached, and may succeed on resubmit.
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Attempt records which run attempt produced this result (0 unless
+	// transient failures forced retries).
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// ErrorKind values.
+const (
+	ErrorKindDeterministic = "deterministic"
+	ErrorKindTransient     = "transient"
+)
+
+// transientErr reports whether a run failure is transient: injected
+// chaos or a budget abort, where a retry (or a resubmit) can
+// legitimately see a different outcome. Everything else is
+// deterministic — the same spec will fail the same way forever.
+func transientErr(err error) bool {
+	return errors.Is(err, faults.ErrInjected) || errors.Is(err, core.ErrBudgetExceeded)
 }
 
 // Job states reported on /jobs.
@@ -113,14 +179,18 @@ var (
 
 // job is one in-flight or just-completed run. done is closed after
 // result/failed/status are final; until then those fields are guarded
-// by the server lock.
+// by the server lock. published flips exactly once — whichever of the
+// primary attempt chain or a hedge finishes first wins; the loser's
+// bytes are compared, not stored.
 type job struct {
-	id     string
-	spec   experiments.Spec // normalized
-	done   chan struct{}
-	status string
-	result []byte
-	failed bool
+	id        string
+	spec      experiments.Spec // normalized
+	done      chan struct{}
+	status    string
+	result    []byte
+	failed    bool
+	transient bool
+	published bool
 }
 
 // closedDone is the pre-closed channel completed-on-arrival jobs
@@ -140,24 +210,82 @@ type Server struct {
 	jobs   map[string]*job // in-flight, by content address
 	cache  *lruCache
 	m      *metrics
+	wal    *wal // nil without StateDir
 	closed bool
 }
 
-// New starts a server (its worker pool runs until Close).
+// New starts a server (its worker pool runs until Close). It panics on
+// a state-directory error; services that want the error use Open.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a server. With StateDir set it first recovers from the
+// previous incarnation's journal: answered results re-enter the cache
+// (byte-identical — determinism makes the replay sound), and jobs that
+// were queued or running when the process died are resubmitted.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Checkpoints {
 		// Process-wide, like the executor's parallelism: set before any
 		// job runs, never while one is running.
 		experiments.SetCheckpoints(true)
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		pool:  sweep.NewPool(cfg.Workers, cfg.Backlog),
 		jobs:  map[string]*job{},
 		cache: newLRUCache(cfg.CacheEntries),
 		m:     newMetrics(),
 	}
+	if cfg.StateDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("simserve: state dir: %w", err)
+	}
+	if cfg.Checkpoints {
+		if err := experiments.SetCheckpointDisk(filepath.Join(cfg.StateDir, "checkpoints")); err != nil {
+			return nil, err
+		}
+	}
+	w, rec, err := openWAL(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	for _, r := range rec.results {
+		var jr JobResult
+		_ = json.Unmarshal(r.result, &jr) // verified by openWAL
+		if jr.ErrorKind == ErrorKindTransient {
+			// Answered but not cacheable; keep it out of the cache on
+			// replay too.
+			continue
+		}
+		s.cache.put(&cacheEntry{id: r.id, result: r.result, failed: r.failed})
+		s.m.walRecoveredResults++
+	}
+	s.wal = w
+	s.mu.Unlock()
+	// Resubmit interrupted work through the normal path (which re-journals
+	// it into the compacted WAL). The queue is empty at open, so only a
+	// pending set larger than the backlog can drop — counted, not silent.
+	for _, sp := range rec.pending {
+		if _, err := s.submit(sp); err != nil {
+			s.mu.Lock()
+			s.m.walPendingDropped++
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.m.walRecoveredPending++
+		s.mu.Unlock()
+	}
+	return s, nil
 }
 
 // Workers reports the worker-pool size.
@@ -170,6 +298,10 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.pool.Close()
+	s.mu.Lock()
+	s.wal.close()
+	s.wal = nil
+	s.mu.Unlock()
 }
 
 // submit routes one spec: cache hit, singleflight attach, or fresh
@@ -204,67 +336,219 @@ func (s *Server) submit(raw experiments.Spec) (*job, error) {
 		return nil, ErrShuttingDown
 	}
 	j := &job{id: id, spec: n, done: make(chan struct{}), status: StatusQueued}
-	if !s.pool.TrySubmit(func() { s.run(j) }) {
+	switch err := s.pool.TrySubmit(func() { s.run(j) }); {
+	case errors.Is(err, sweep.ErrClosed):
+		return nil, ErrShuttingDown
+	case err != nil:
 		return nil, ErrQueueFull
 	}
 	s.jobs[id] = j
 	s.m.jobsSubmitted++
+	if specJSON, err := n.CanonicalJSON(); err == nil {
+		if werr := s.wal.appendSubmit(id, specJSON); werr != nil {
+			s.m.walAppendErrors++
+		}
+	}
 	return j, nil
 }
 
-// run executes one fresh job on a pool worker and publishes its result.
+// run executes one fresh job on a pool worker: attempt, retry
+// transients with deterministic backoff, and publish the final result.
+// When hedging is configured, a straggling primary gets a second
+// identical attempt racing it; the first published result wins.
 func (s *Server) run(j *job) {
 	s.mu.Lock()
 	j.status = StatusRunning
 	s.m.workersBusy++
 	s.mu.Unlock()
 
+	if s.cfg.HedgeAfter > 0 {
+		timer := time.AfterFunc(s.cfg.HedgeAfter, func() { s.launchHedge(j) })
+		defer timer.Stop()
+	}
+
 	start := time.Now()
-	res, err := s.safeRun(j.spec)
+	res, err, attempt := s.runWithRetries(j)
 	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
 
+	s.mu.Lock()
+	s.m.workersBusy--
+	s.mu.Unlock()
+	data, failed, transient := s.marshalResult(j, res, err, attempt)
+	s.publish(j, data, failed, transient, wallMS, false)
+}
+
+// runWithRetries drives the primary attempt chain: transient failures
+// back off (doubling, capped, spec-jittered) and re-run with the next
+// attempt number — which matters, because Attempts-windowed injected
+// faults expire and budget luck differs, so a retry can genuinely heal.
+// Deterministic outcomes return immediately: re-running them buys
+// nothing.
+func (s *Server) runWithRetries(j *job) (core.Result, error, int) {
+	attempt := 0
+	for {
+		res, err := s.safeRun(j.spec, attempt)
+		if err == nil || !transientErr(err) || attempt >= s.cfg.MaxRetries {
+			return res, err, attempt
+		}
+		s.mu.Lock()
+		s.m.retriesTotal++
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			s.m.budgetAborts++
+		}
+		published := j.published
+		s.mu.Unlock()
+		if published {
+			// A hedge already answered; stop burning the worker.
+			return res, err, attempt
+		}
+		time.Sleep(retryBackoff(j.id, attempt, s.cfg.RetryBackoff))
+		attempt++
+	}
+}
+
+// retryBackoff is the pause before retrying attempt+1: base doubled per
+// attempt, capped at 1s, jittered ±25% by a stream derived from the
+// spec's content address — deterministic per (spec, attempt), desynced
+// across distinct specs.
+func retryBackoff(id string, attempt int, base time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id)) // fnv Write cannot fail
+	st := xrand.New(h.Sum64()).Derive(fmt.Sprintf("backoff-%d", attempt))
+	f := 0.75 + 0.5*st.Float64()
+	return time.Duration(float64(d) * f)
+}
+
+// launchHedge submits a second identical attempt for a straggling job.
+// The hedge re-runs attempt 0 — by determinism it must produce the
+// same bytes the primary's attempt 0 would, so whichever publishes
+// first is correct. Hedges only ever publish conclusive results: a
+// transient failure is the retry chain's business, so a hedge that
+// draws one quietly discards it.
+func (s *Server) launchHedge(j *job) {
+	s.mu.Lock()
+	if j.published || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.m.hedgesLaunched++
+	s.mu.Unlock()
+	err := s.pool.TrySubmit(func() {
+		start := time.Now()
+		res, rerr := s.safeRun(j.spec, 0)
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+		if rerr != nil && transientErr(rerr) {
+			return
+		}
+		data, failed, transient := s.marshalResult(j, res, rerr, 0)
+		s.publish(j, data, failed, transient, wallMS, true)
+	})
+	if err != nil {
+		// No capacity for speculation: the primary still owns the job.
+		s.mu.Lock()
+		s.m.hedgesLaunched--
+		s.mu.Unlock()
+	}
+}
+
+// marshalResult renders one attempt's outcome into canonical JobResult
+// bytes plus its caching classification.
+func (s *Server) marshalResult(j *job, res core.Result, err error, attempt int) (data []byte, failed, transient bool) {
 	jr := JobResult{ID: j.id, Spec: j.spec}
 	if err != nil {
 		jr.Error = err.Error()
+		jr.ErrorKind = ErrorKindDeterministic
+		jr.Attempt = attempt
+		if transientErr(err) {
+			jr.ErrorKind = ErrorKindTransient
+			transient = true
+		}
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			s.mu.Lock()
+			s.m.budgetAborts++
+			s.mu.Unlock()
+		}
 	} else {
 		jr.SimTimePS = int64(res.SimTime)
 		jr.SimTime = res.SimTime.String()
 		jr.NEXStats = res.NEXStats
 		jr.Devices = res.Devices
 	}
-	data, merr := json.Marshal(jr)
+	out, merr := json.Marshal(jr)
 	if merr != nil {
-		jr = JobResult{ID: j.id, Spec: j.spec, Error: merr.Error()}
-		data, _ = json.Marshal(jr)
+		jr = JobResult{ID: j.id, Spec: j.spec, Error: merr.Error(), ErrorKind: ErrorKindDeterministic}
+		out, _ = json.Marshal(jr)
 	}
+	return out, jr.Error != "", transient
+}
 
+// publish installs a finished attempt's bytes as the job's result —
+// exactly once. The losing side of a hedge race lands here too: its
+// bytes are compared against the published ones, and a difference is a
+// determinism violation surfaced on /metrics rather than swallowed.
+// Transient failures are answered but never cached: the next submit of
+// the same spec runs fresh.
+func (s *Server) publish(j *job, data []byte, failed, transient bool, wallMS float64, hedge bool) {
 	s.mu.Lock()
+	if j.published {
+		if !bytes.Equal(data, j.result) {
+			s.m.hedgeMismatches++
+		}
+		s.m.hedgesWasted++
+		s.mu.Unlock()
+		return
+	}
+	j.published = true
 	j.result = data
-	j.failed = jr.Error != ""
-	if j.failed {
+	j.failed = failed
+	j.transient = transient
+	if failed {
 		j.status = StatusFailed
 		s.m.jobsFailed++
+		if transient {
+			s.m.transientFailures++
+		}
 	} else {
 		j.status = StatusDone
 		s.m.jobsCompleted++
 	}
-	s.cache.put(&cacheEntry{id: j.id, result: data, failed: j.failed})
+	if !transient {
+		s.cache.put(&cacheEntry{id: j.id, result: data, failed: failed})
+	}
+	if werr := s.wal.appendDone(j.id, failed, data); werr != nil {
+		s.m.walAppendErrors++
+	}
 	delete(s.jobs, j.id)
-	s.m.workersBusy--
 	s.m.observeRun(j.spec.Bench, wallMS)
+	if hedge {
+		s.m.hedgesWon++
+	}
 	s.mu.Unlock()
 	close(j.done)
 }
 
 // safeRun shields the worker pool from a panicking engine: a bad spec
-// must fail its own job, not the daemon.
-func (s *Server) safeRun(spec experiments.Spec) (res core.Result, err error) {
+// must fail its own job, not the daemon. An injected-fault panic (a
+// custom runner surfacing engine chaos directly) keeps its transient
+// classification through the recover.
+func (s *Server) safeRun(spec experiments.Spec, attempt int) (res core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && faults.IsInjected(e) {
+				err = fmt.Errorf("run aborted by %w", e)
+				return
+			}
 			err = fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	return s.cfg.Runner(spec)
+	return s.cfg.Runner(spec, attempt)
 }
 
 // lookup finds a job's current status and (when finished) result.

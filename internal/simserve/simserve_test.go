@@ -221,7 +221,7 @@ func TestSingleflightDedup(t *testing.T) {
 	)
 	srv, ts := newTestServer(t, Config{
 		Workers: 4, Backlog: 16,
-		Runner: func(s experiments.Spec) (core.Result, error) {
+		Runner: func(s experiments.Spec, attempt int) (core.Result, error) {
 			runsMu.Lock()
 			runs++
 			runsMu.Unlock()
@@ -298,7 +298,7 @@ func TestQueueFull429(t *testing.T) {
 	release := make(chan struct{})
 	_, ts := newTestServer(t, Config{
 		Workers: 1, Backlog: 1,
-		Runner: func(s experiments.Spec) (core.Result, error) {
+		Runner: func(s experiments.Spec, attempt int) (core.Result, error) {
 			<-release
 			return core.Result{}, nil
 		},
@@ -354,7 +354,7 @@ func TestGracefulDrain(t *testing.T) {
 	release := make(chan struct{})
 	srv := New(Config{
 		Workers: 1, Backlog: 4,
-		Runner: func(s experiments.Spec) (core.Result, error) {
+		Runner: func(s experiments.Spec, attempt int) (core.Result, error) {
 			close(started)
 			<-release
 			return core.Result{SimTime: 7 * vclock.Microsecond}, nil
@@ -414,7 +414,7 @@ func TestFailedJobCachedDeterministically(t *testing.T) {
 	var mu sync.Mutex
 	_, ts := newTestServer(t, Config{
 		Workers: 1, Backlog: 4,
-		Runner: func(s experiments.Spec) (core.Result, error) {
+		Runner: func(s experiments.Spec, attempt int) (core.Result, error) {
 			mu.Lock()
 			runs++
 			mu.Unlock()

@@ -1,8 +1,20 @@
 package sweep
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+)
+
+// TrySubmit refusal reasons. They are distinct errors because the
+// caller's correct responses differ: a full queue is transient
+// backpressure (shed this request, try again later — HTTP 429), a
+// closed pool is terminal (the server is shutting down — HTTP 503).
+var (
+	// ErrQueueFull reports that the bounded backlog is at capacity.
+	ErrQueueFull = errors.New("sweep: pool queue full")
+	// ErrClosed reports that Close has been called on the pool.
+	ErrClosed = errors.New("sweep: pool closed")
 )
 
 // Pool is the executor's queue-feeding mode: a long-lived worker pool
@@ -50,20 +62,20 @@ func NewPool(workers, backlog int) *Pool {
 	return p
 }
 
-// TrySubmit enqueues job without blocking. It returns false when the
-// queue is full or the pool is closed — the caller's signal to shed
-// load.
-func (p *Pool) TrySubmit(job func()) bool {
+// TrySubmit enqueues job without blocking. It returns ErrQueueFull when
+// the backlog is at capacity (shed load, retry later) and ErrClosed
+// after Close (terminal — stop submitting).
+func (p *Pool) TrySubmit(job func()) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return false
+		return ErrClosed
 	}
 	select {
 	case p.jobs <- job:
-		return true
+		return nil
 	default:
-		return false
+		return ErrQueueFull
 	}
 }
 

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,8 +11,8 @@ func TestPoolRunsEveryJob(t *testing.T) {
 	p := NewPool(4, 64)
 	var ran atomic.Int64
 	for i := 0; i < 50; i++ {
-		if !p.TrySubmit(func() { ran.Add(1) }) {
-			t.Fatal("TrySubmit refused with free backlog")
+		if err := p.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("TrySubmit refused with free backlog: %v", err)
 		}
 	}
 	p.Close()
@@ -27,20 +28,20 @@ func TestPoolBackpressure(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	// Occupy the single worker and wait until it has dequeued the job.
-	if !p.TrySubmit(func() { defer wg.Done(); close(started); <-block }) {
-		t.Fatal("first submit refused")
+	if err := p.TrySubmit(func() { defer wg.Done(); close(started); <-block }); err != nil {
+		t.Fatalf("first submit refused: %v", err)
 	}
 	<-started
 	// Fill the single backlog slot.
-	if !p.TrySubmit(func() {}) {
-		t.Fatal("backlog submit refused with a free slot")
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("backlog submit refused with a free slot: %v", err)
 	}
 	if p.Depth() != 1 {
 		t.Fatalf("Depth = %d, want 1", p.Depth())
 	}
 	// Worker busy + backlog full: the next submit must be refused.
-	if p.TrySubmit(func() {}) {
-		t.Fatal("TrySubmit accepted a job beyond the queue bound")
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit over the queue bound = %v, want ErrQueueFull", err)
 	}
 	close(block)
 	wg.Wait()
@@ -51,10 +52,10 @@ func TestPoolCloseDrainsQueued(t *testing.T) {
 	p := NewPool(1, 8)
 	block := make(chan struct{})
 	var ran atomic.Int64
-	p.TrySubmit(func() { <-block; ran.Add(1) })
+	_ = p.TrySubmit(func() { <-block; ran.Add(1) })
 	for i := 0; i < 5; i++ {
-		if !p.TrySubmit(func() { ran.Add(1) }) {
-			t.Fatal("submit refused with free backlog")
+		if err := p.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit refused with free backlog: %v", err)
 		}
 	}
 	done := make(chan struct{})
@@ -64,8 +65,8 @@ func TestPoolCloseDrainsQueued(t *testing.T) {
 	if ran.Load() != 6 {
 		t.Fatalf("Close drained %d jobs, want 6", ran.Load())
 	}
-	if p.TrySubmit(func() {}) {
-		t.Fatal("TrySubmit accepted a job after Close")
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrClosed", err)
 	}
 	p.Close() // idempotent
 }
@@ -99,7 +100,7 @@ func TestPoolTrySubmitCloseInterleaving(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for i := 0; i < 200; i++ {
-					if p.TrySubmit(func() { executed.Add(1) }) {
+					if p.TrySubmit(func() { executed.Add(1) }) == nil {
 						accepted.Add(1)
 					}
 				}
@@ -113,8 +114,8 @@ func TestPoolTrySubmitCloseInterleaving(t *testing.T) {
 		}()
 		close(start)
 		wg.Wait()
-		if p.TrySubmit(func() {}) {
-			t.Fatal("TrySubmit accepted a job after Close returned")
+		if err := p.TrySubmit(func() {}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("TrySubmit after Close returned = %v, want ErrClosed", err)
 		}
 		if got, want := executed.Load(), accepted.Load(); got != want {
 			t.Fatalf("round %d: %d jobs executed, want %d (accepted)", round, got, want)
