@@ -35,10 +35,24 @@ chaos:
 # channel) at a stable sampling time, a smoke pass over every other
 # registered benchmark, then the full paper experiment run with a JSON
 # report. BENCH_pr3.json is committed as the perf baseline for the
-# incremental enabled-set engine.
+# incremental enabled-set engine; BENCH_pr8.json is the current
+# wall-time baseline, recorded at -intra 4 (GOMAXPROCS pinned so the
+# stepper lanes are real on single-core CI) and consumed by bench-gate.
 bench:
 	go test -run xxx -bench . -benchtime 100ms ./internal/lpn/ ./internal/simbricks/
 	go test -run xxx -bench . -benchtime 1x ./...
-	go run ./cmd/paperbench -exp all -checkpoints -json BENCH_pr6.json
+	GOMAXPROCS=4 go run ./cmd/paperbench -exp all -parallel 1 -intra 4 -checkpoints -json BENCH_pr8.json
 
-.PHONY: lint check bench serve-smoke crash-smoke chaos
+# Wall-time regression gate against the committed benchmark baseline:
+# re-runs every table in BENCH_pr8.json and fails on any >1.5x slowdown
+# (knobs: BASELINE/TOL/PARALLEL/INTRA). Opt-in — wall times are too
+# machine-dependent for `make check`.
+bench-gate:
+	sh scripts/bench_gate.sh
+
+# Conservative-parallel determinism smoke: -intra 1 vs -intra 4 tables
+# and chrome traces byte-identical. check.sh runs this too.
+intra-smoke:
+	sh scripts/intra_smoke.sh
+
+.PHONY: lint check bench bench-gate intra-smoke serve-smoke crash-smoke chaos

@@ -15,18 +15,26 @@ go run ./cmd/simlint
 go build ./...
 go test ./...
 
-# Race-mode pass over every internal package. The sweep executor, the
-# engines' shared memo caches, and the simserve worker pool are the only
-# intended concurrency in the tree; racing everything also guards
-# against new goroutines sneaking in past the stray-goroutine checker's
-# allowlist. The deterministic-output tests
-# (TestParallelOutputByteIdentical, TestRepeatedRunByteIdentical) run
-# under race here too.
-go test -race ./internal/...
+# Race-mode pass over the full tree (cmd/ and examples/ included, not
+# just internal/): the sweep executor, the engines' shared memo caches,
+# the simserve worker pool, and now the parsim device-stepper lanes are
+# the intended concurrency; racing everything guards against new
+# goroutines sneaking in past the stray-goroutine checker's allowlist.
+# The deterministic-output tests (TestParallelOutputByteIdentical,
+# TestIntraByteIdentity, TestRepeatedRunByteIdentical) run under race
+# here too.
+go test -race ./...
+
+# Conservative-parallel determinism smoke: table4 and a multi-device
+# chrome trace must be byte-identical between -intra 1 and -intra 4
+# (GOMAXPROCS pinned so stepper lanes are real on single-core CI).
+sh scripts/intra_smoke.sh
 
 # Checkpoint determinism smoke: the same experiment with and without
 # -checkpoints must print byte-identical output (forked runs restore
 # engine snapshots; any snapshot/replay drift shows up as a byte diff).
+# Its final case re-runs with -checkpoints -intra 2, proving snapshots
+# compose with parallel intra-run mode.
 sh scripts/ckpt_smoke.sh
 
 # End-to-end serving smoke: simd on an ephemeral port, a cheap job
@@ -37,5 +45,12 @@ sh scripts/serve_smoke.sh
 # Crash-safety smoke: simd with -state-dir answers a job, dies by
 # SIGKILL, restarts on the same state directory, and must serve the
 # same spec byte-identically from its recovered journal without
-# re-running the engine.
+# re-running the engine. The daemon runs with -intra 2, so recovery is
+# exercised with device stepper lanes live.
 sh scripts/crash_smoke.sh
+
+# Wall-time regression gating is deliberately NOT part of this tier-1
+# gate: wall clocks are machine- and load-dependent, so the benchmark
+# baseline comparison is opt-in via `make bench-gate` (per-table
+# tolerance against the committed BENCH_pr8.json; see
+# scripts/bench_gate.sh).

@@ -42,6 +42,8 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "run this many consecutive seeds (starting at -seed)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"workers for the -seeds sweep (1 = serial)")
+		intra = flag.Int("intra", 1,
+			"intra-run workers (host + N-1 device steppers; results byte-identical)")
 	)
 	flag.Parse()
 
@@ -89,9 +91,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A single run has one inter-run worker; only the -seeds sweep fans
+	// across -parallel. The clamp keeps workers×intra within GOMAXPROCS.
+	sweepWorkers := 1
+	if *seeds > 1 {
+		sweepWorkers = sweep.New(*parallel).Workers()
+	}
 	cfg := core.Config{
 		Host: host, Accel: acc, Model: b.Model, Devices: b.Devices,
 		Cores: 16, Seed: *seed,
+		IntraParallel: sweep.ClampIntra(sweepWorkers, *intra, 0),
 	}
 	if *epoch > 0 {
 		cfg.NEX.Epoch = vclock.FromStd(*epoch)

@@ -11,8 +11,13 @@
 //
 // -parallel N fans each experiment's independent simulation runs across
 // N workers (default GOMAXPROCS; 1 reproduces the historical serial
-// harness). Tables are byte-identical at any worker count: experiments
-// enumerate jobs first and render from order-preserved results.
+// harness). -intra N additionally runs each simulation's accelerator
+// engines on up to N-1 stepper goroutines alongside the host engine
+// (conservative parallel co-simulation, DESIGN.md §10). Tables are
+// byte-identical at any worker or intra count: experiments enumerate
+// jobs first, render from order-preserved results, and the intra
+// schedule is conservative (observation implies quiesce). The intra
+// request is clamped so parallel×intra stays within GOMAXPROCS.
 package main
 
 import (
@@ -22,23 +27,31 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"nexsim/internal/experiments"
+	"nexsim/internal/sweep"
 )
 
-// jsonEntry is one experiment's record in the -json report. Parallel
-// and GoVersion record the run environment: wall times are only
-// comparable across reports taken at the same worker count and
-// toolchain.
+// jsonEntry is one experiment's record in the -json report. Parallel,
+// Intra and GoVersion record the run environment: wall times are only
+// comparable across reports taken at the same worker/intra counts and
+// toolchain. HostWallMS is the summed wall time of the experiment's
+// simulation runs; DeviceWallMS is the time accelerator stepper lanes
+// spent advancing concurrently with those runs (0 at -intra 1), so the
+// pair attributes where the time went.
 type jsonEntry struct {
-	ID        string  `json:"id"`
-	Title     string  `json:"title"`
-	WallMS    float64 `json:"wall_ms"`
-	Headline  string  `json:"headline"`
-	Parallel  int     `json:"parallel"`
-	GoVersion string  `json:"go_version"`
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	WallMS       float64 `json:"wall_ms"`
+	Headline     string  `json:"headline"`
+	Parallel     int     `json:"parallel"`
+	Intra        int     `json:"intra"`
+	HostWallMS   float64 `json:"host_wall_ms"`
+	DeviceWallMS float64 `json:"device_wall_ms"`
+	GoVersion    string  `json:"go_version"`
 }
 
 func main() {
@@ -51,6 +64,10 @@ func main() {
 			"write per-experiment wall time and headline metrics to this file as a JSON array")
 		checkpoints = flag.Bool("checkpoints", false,
 			"fork sweep points from shared prefix snapshots (same tables, less wall time)")
+		intra = flag.Int("intra", 1,
+			"intra-run workers per simulation (host + N-1 device steppers; 1 = serial schedule)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -63,6 +80,25 @@ func main() {
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetCheckpoints(*checkpoints)
+	effIntra := sweep.ClampIntra(*parallel, *intra, 0)
+	if effIntra != *intra {
+		fmt.Fprintf(os.Stderr, "paperbench: clamped -intra %d to %d (-parallel %d on %d procs)\n",
+			*intra, effIntra, *parallel, runtime.GOMAXPROCS(0))
+	}
+	experiments.SetIntra(effIntra)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var report []jsonEntry
 	run := func(e experiments.Experiment) {
@@ -71,9 +107,11 @@ func main() {
 		// (the last non-empty line, where every experiment prints its
 		// summary statistic or final row).
 		var buf bytes.Buffer
+		experiments.TakeWallSplit() // reset the split accumulator
 		start := time.Now()
 		err := e.Run(&buf)
 		wall := time.Since(start)
+		hostWall, devWall := experiments.TakeWallSplit()
 		if _, werr := os.Stdout.Write(buf.Bytes()); werr != nil {
 			fmt.Fprintln(os.Stderr, werr)
 			os.Exit(1)
@@ -84,12 +122,15 @@ func main() {
 		}
 		fmt.Printf("(%s in %s)\n\n", e.ID, wall.Round(time.Millisecond))
 		report = append(report, jsonEntry{
-			ID:        e.ID,
-			Title:     e.Title,
-			WallMS:    float64(wall) / float64(time.Millisecond),
-			Headline:  lastLine(buf.String()),
-			Parallel:  *parallel,
-			GoVersion: runtime.Version(),
+			ID:           e.ID,
+			Title:        e.Title,
+			WallMS:       float64(wall) / float64(time.Millisecond),
+			Headline:     lastLine(buf.String()),
+			Parallel:     *parallel,
+			Intra:        effIntra,
+			HostWallMS:   float64(hostWall) / float64(time.Millisecond),
+			DeviceWallMS: float64(devWall) / float64(time.Millisecond),
+			GoVersion:    runtime.Version(),
 		})
 	}
 
@@ -114,6 +155,23 @@ func main() {
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -6,6 +6,7 @@
 //
 //	simd -addr 127.0.0.1:8080
 //	simd -addr 127.0.0.1:0 -portfile /tmp/simd.addr   # ephemeral port
+//	simd -intra 2 -pprof                              # parallel intra-run mode + profiling
 //
 // Endpoints:
 //
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,11 +64,17 @@ func main() {
 		hedgeAfter = flag.Duration("hedge-after", 0,
 			"launch a second identical attempt for jobs still running after this long;\n"+
 				"the first published result wins (0 = off)")
+		intra = flag.Int("intra", 1,
+			"intra-run workers per simulation (host + N-1 device steppers; results\n"+
+				"stay byte-identical, so cached entries are shared across settings)")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
 	srv, err := simserve.Open(simserve.Config{
 		Workers:      *workers,
+		Intra:        *intra,
 		Backlog:      *backlog,
 		CacheEntries: *cacheEntries,
 		WaitTimeout:  *waitTimeout,
@@ -96,7 +104,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d queue=%d cache=%d)\n",
 		bound, srv.Workers(), *backlog, *cacheEntries)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Keep the default mux out of it: mount the pprof handlers on an
+		// explicit mux that falls through to the daemon's API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

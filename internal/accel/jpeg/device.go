@@ -299,3 +299,8 @@ func (d *Device) planRows(rec *dsim.Recorder, desc Desc, img *Image, stats *Deco
 }
 
 func intCeil(a, b int) int { return (a + b - 1) / b }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *Device) MayRaiseIRQ() bool { return d.irqEnabled }

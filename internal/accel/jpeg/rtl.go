@@ -100,15 +100,39 @@ func (d *RTLDevice) busy() bool {
 		len(d.fetchQ) > 0 || len(d.huffQ) > 0 || len(d.idctQ) > 0
 }
 
-// Advance implements accel.Device: step the pipeline cycle by cycle up
-// to time t (skipping cycles only while the device is completely idle,
-// as an event-driven RTL testbench would).
+// Advance implements accel.Device: step the pipeline up to time t.
+//
+// Between unit events step() is a pure no-op: completions fire at a
+// unit's busyUntil and an idle unit with queued rows issues in the same
+// step it went idle. Jumping straight to the nearest busyUntil when no
+// idle unit has work is therefore cycle-exact and skips the dead
+// stepping in between.
 func (d *RTLDevice) Advance(t vclock.Time) {
 	target := d.cyclesAt(t)
 	for d.cycle <= target {
 		if !d.busy() {
 			d.cycle = target + 1
 			return
+		}
+		next := int64(1 << 62)
+		consider := func(cur *rtlRow, busyUntil int64, queue []rtlRow) {
+			if cur != nil {
+				if busyUntil < next {
+					next = busyUntil
+				}
+			} else if len(queue) > 0 {
+				next = d.cycle
+			}
+		}
+		consider(d.fetchCur, d.fetchBusyUntil, d.fetchQ)
+		consider(d.huffCur, d.huffBusyUntil, d.huffQ)
+		consider(d.idctCur, d.idctBusyUntil, d.idctQ)
+		if next > d.cycle {
+			if next > target {
+				d.cycle = target + 1
+				return
+			}
+			d.cycle = next
 		}
 		d.step()
 		d.cycle++
@@ -290,3 +314,8 @@ func planRTLRows(desc Desc, img *Image, stats *DecodeStats, bitstream []byte) []
 	}
 	return rows
 }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *RTLDevice) MayRaiseIRQ() bool { return d.irqEnabled }

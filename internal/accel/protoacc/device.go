@@ -377,3 +377,8 @@ func (d *Device) startTask(at vclock.Time, descAddr mem.Addr) {
 	// is discovered by chasing pointers.
 	d.Net.Inject(d.nodeQ, lpn.Tok(at, int64(base-1), 0, 0, task))
 }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *Device) MayRaiseIRQ() bool { return d.irqEnabled }

@@ -126,12 +126,50 @@ func (d *RTLDevice) busy() bool {
 }
 
 // Advance implements accel.Device.
+//
+// Between unit events step() is a pure no-op: completions fire at a
+// unit's busy-until cycle and an idle unit with queued work issues in
+// the same step it went idle. Jumping straight to the nearest
+// busy-until when no idle unit has work is therefore cycle-exact and
+// skips the dead stepping in between.
 func (d *RTLDevice) Advance(t vclock.Time) {
 	target := d.cyclesAt(t)
 	for d.cycle <= target {
 		if !d.busy() {
 			d.cycle = target + 1
 			return
+		}
+		next := int64(1 << 62)
+		use := func(c int64) {
+			if c < next {
+				next = c
+			}
+		}
+		for i := range d.objCur {
+			if d.objCur[i] != nil {
+				use(d.objBusy[i])
+			} else if len(d.objQ) > 0 {
+				use(d.cycle)
+			}
+		}
+		for i := range d.fieldCur {
+			if d.fieldCur[i] != nil {
+				use(d.fieldBsy[i])
+			} else if len(d.fieldQ) > 0 {
+				use(d.cycle)
+			}
+		}
+		if d.storeCur != nil {
+			use(d.storeBsy)
+		} else if len(d.storeQ) > 0 {
+			use(d.cycle)
+		}
+		if next > d.cycle {
+			if next > target {
+				d.cycle = target + 1
+				return
+			}
+			d.cycle = next
 		}
 		d.step()
 		d.cycle++
@@ -346,3 +384,8 @@ func (d *RTLDevice) startTask(at vclock.Time, descAddr mem.Addr) {
 		d.cycle = c
 	}
 }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *RTLDevice) MayRaiseIRQ() bool { return d.irqEnabled }

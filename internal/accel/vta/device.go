@@ -273,3 +273,8 @@ func (d *Device) NextEvent() (vclock.Time, bool) {
 	}
 	return best, any
 }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *Device) MayRaiseIRQ() bool { return d.irqEnabled }

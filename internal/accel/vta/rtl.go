@@ -223,12 +223,42 @@ func (d *RTLDevice) step() {
 }
 
 // Advance implements accel.Device.
+//
+// Between module events step() is a pure no-op: completions fire at a
+// module's busyUntil, issues need an idle module whose head op is past
+// minStart with its dependency tokens available, and tokens only change
+// at those same events. Jumping straight to the nearest such cycle is
+// therefore cycle-exact and skips the dead stepping in between.
 func (d *RTLDevice) Advance(t vclock.Time) {
 	target := d.cyclesAt(t)
 	for d.cycle <= target {
 		if !d.busy() {
 			d.cycle = target + 1
 			return
+		}
+		next := int64(1 << 62)
+		for m := range d.mods {
+			ms := &d.mods[m]
+			if ms.cur != nil {
+				if ms.busyUntil < next {
+					next = ms.busyUntil
+				}
+			} else if len(ms.ops) > 0 {
+				op := &ms.ops[0]
+				if !d.depsAvailable(m, op) {
+					continue // unblocks only at another module's completion
+				}
+				if c := d.cyclesAt(op.minStart); c < next {
+					next = c
+				}
+			}
+		}
+		if next > d.cycle {
+			if next > target {
+				d.cycle = target + 1
+				return
+			}
+			d.cycle = next
 		}
 		d.step()
 		d.cycle++
@@ -262,3 +292,8 @@ func (d *RTLDevice) NextEvent() (vclock.Time, bool) {
 	}
 	return d.timeAt(next), true
 }
+
+// MayRaiseIRQ reports whether an Advance may deliver an interrupt to the
+// host (parsim's async-grant eligibility predicate): only once the
+// driver has enabled interrupts via the IRQ-enable register.
+func (d *RTLDevice) MayRaiseIRQ() bool { return d.irqEnabled }

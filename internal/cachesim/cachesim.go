@@ -156,6 +156,14 @@ func (c *Cache) Access(at vclock.Time, kind mem.AccessKind, addr mem.Addr, size 
 	return done
 }
 
+// AccessOne is Access for a request contained in a single line — the
+// common case for CPU-model loads and stores: one tag lookup, no
+// streaming loop. Equivalent to Access(at, kind, addr, size) whenever
+// addr..addr+size-1 stays within one line.
+func (c *Cache) AccessOne(at vclock.Time, kind mem.AccessKind, addr mem.Addr) vclock.Time {
+	return c.accessLine(at, kind, addr>>c.lineBits)
+}
+
 func (c *Cache) accessLine(at vclock.Time, kind mem.AccessKind, lineAddr mem.Addr) vclock.Time {
 	s := &c.sets[lineAddr&c.setMask]
 	if s.lines == nil {

@@ -126,6 +126,14 @@ type Config struct {
 	// integration (§A.2's comparison).
 	UseChannel bool
 
+	// IntraParallel is the intra-run worker count (DESIGN.md §10): with
+	// N >= 2, accelerator engines advance on up to N-1 stepper
+	// goroutines under conservative lookahead while the host engine
+	// runs on its own goroutine, synchronizing at deterministic
+	// barriers. Every table, trace, and checkpoint is byte-identical to
+	// the serial schedule. 0 or 1 = serial (the default).
+	IntraParallel int
+
 	// Budget bounds the run (watchdog): a run that exceeds it aborts
 	// with a structured ErrBudgetExceeded from TryRun instead of
 	// running (or hanging) forever. The zero value is unlimited.
@@ -195,6 +203,17 @@ type Result struct {
 	Accel    AccelKind
 	NEXStats nex.Stats // populated for NEX hosts
 	Devices  []accel.DeviceStats
+
+	// Intra is the effective intra-run worker count: 1 + the number of
+	// device stepper lanes that ran (1 = fully serial).
+	Intra int
+	// HostWall is wall time attributable to the host engine goroutine
+	// (WallTime minus time spent blocked joining steppers is not
+	// separable, so HostWall == WallTime); DeviceWall is the cumulative
+	// stepper busy time, which overlaps HostWall when Intra > 1 and is
+	// folded into WallTime when serial.
+	HostWall   time.Duration
+	DeviceWall time.Duration
 }
 
 // Slowdown is WallTime / SimTime.
@@ -225,16 +244,14 @@ func Build(cfg Config) *System {
 	sys.Ctx.Mem = m
 	sys.Ctx.Clock = cfg.Clock
 
-	// Shared memory-system stack under all accelerators: DRAM, LLC, and
-	// optionally a closer L2 for DMA service (§6.4's design sweep).
-	dramCtl := dram.New(dram.DDR4)
-	llc := cachesim.New(cachesim.LLC, dramCtl)
-	sys.caches = append(sys.caches, llc)
-	var dmaTarget memsys.Port = llc
-	if cfg.DMATarget == DMAL2 {
-		l2 := cachesim.New(cachesim.L2, llc)
-		sys.caches = append(sys.caches, l2)
-		dmaTarget = l2
+	intra := cfg.IntraParallel
+	if intra < 1 {
+		intra = 1
+	}
+	if intra > 1 {
+		// Host and stepper goroutines touch disjoint byte ranges of the
+		// functional memory concurrently; arm the page-table lock.
+		m.SetConcurrent()
 	}
 
 	fabricCfg := sys.fabricConfig()
@@ -255,6 +272,24 @@ func Build(cfg Config) *System {
 	for i := 0; i < cfg.Devices; i++ {
 		mmio := mem.Addr(0x8000_0000 + uint64(i)*0x1_0000)
 		tb := m.Alloc(fmt.Sprintf("taskbuf%d", i), 4096)
+		// Banked memory-system stack: each device's DMA port owns a
+		// private LLC slice and DRAM channel (CAT-style way
+		// partitioning, §6.4's design sweep applies per bank). Host
+		// task accesses never touch this stack (they carry a fixed
+		// TaskAccessCost, and the gem5 CPU model has its own private
+		// hierarchy), so banking keeps single-device runs structurally
+		// identical while making each device's timing state private —
+		// the property parallel intra-run mode (DESIGN.md §10) relies
+		// on for serial↔parallel byte-identity.
+		dramCtl := dram.New(dram.DDR4)
+		llc := cachesim.New(cachesim.LLC, dramCtl)
+		sys.caches = append(sys.caches, llc)
+		var dmaTarget memsys.Port = llc
+		if cfg.DMATarget == DMAL2 {
+			l2 := cachesim.New(cachesim.L2, llc)
+			sys.caches = append(sys.caches, l2)
+			dmaTarget = l2
+		}
 		fabric := interconnect.New(fabricCfg, dmaTarget)
 		if cfg.IOTLB != nil {
 			fabric.EnableIOTLB(*cfg.IOTLB)
@@ -291,6 +326,7 @@ func Build(cfg Config) *System {
 		ncfg.MaxEpochs = cfg.Budget.MaxEpochs
 		ncfg.MaxWall = cfg.Budget.MaxWall
 		ncfg.Faults = cfg.Faults
+		ncfg.Intra = intra
 		eng := nex.New(ncfg)
 		for _, b := range binds {
 			db := &nex.DeviceBinding{Device: b.dev, MMIOBase: b.mmio,
@@ -304,14 +340,17 @@ func Build(cfg Config) *System {
 			start := time.Now() //simlint:allow nondet-time Result.WallTime is speed reporting, never simulation state
 			r := eng.Run(prog)
 			wall := time.Since(start) //simlint:allow nondet-time
+			lanes, devWall := eng.IntraStats()
 			return Result{SimTime: r.SimTime, WallTime: wall,
-				Host: cfg.Host, Accel: cfg.Accel, NEXStats: r.Stats}
+				Host: cfg.Host, Accel: cfg.Accel, NEXStats: r.Stats,
+				Intra: 1 + lanes, HostWall: wall, DeviceWall: devWall}
 		}
 
 	case HostReference, HostGem5:
 		ecfg := exacthost.Config{
 			Clock: cfg.Clock, Cores: cfg.Cores, Memory: m, Trace: cfg.Trace,
 			MaxSteps: cfg.Budget.MaxEpochs, MaxWall: cfg.Budget.MaxWall,
+			Intra: intra,
 		}
 		if cfg.Host == HostGem5 {
 			model := cpu.New(cpu.Config{Clock: cfg.Clock})
@@ -331,8 +370,10 @@ func Build(cfg Config) *System {
 			start := time.Now() //simlint:allow nondet-time Result.WallTime is speed reporting, never simulation state
 			r := eng.Run(prog)
 			wall := time.Since(start) //simlint:allow nondet-time
+			lanes, devWall := eng.IntraStats()
 			return Result{SimTime: r.SimTime, WallTime: wall,
-				Host: cfg.Host, Accel: cfg.Accel}
+				Host: cfg.Host, Accel: cfg.Accel,
+				Intra: 1 + lanes, HostWall: wall, DeviceWall: devWall}
 		}
 	}
 

@@ -200,7 +200,27 @@ func (m *Model) Duration(w isa.Work) vclock.Duration {
 	issueCost := int64(fp / cfg.IssueWidth)
 	aluLat := cfg.ALULat * fp
 	mulLat := cfg.MulDivLat * fp
+	minMemLat := cfg.L1Lat * fp
+	mispredFP := cfg.MispredictPenalty * fp
 	period := float64(cfg.Clock.Period())
+
+	// The tag arrays and the probabilistic backing never *read* the
+	// access timestamp — state evolution (LRU order, tags, dice) depends
+	// only on the access sequence, and the returned completion is the
+	// timestamp plus a chain of constant per-level durations. Memory
+	// accesses therefore issue at time 0 and the return value IS the
+	// latency, dropping the float64 time round-trip per access. The
+	// handful of distinct latency values a hierarchy can produce (L1
+	// hit, L2 hit, LLC, DRAM, ± writeback pacing) are memoized, so the
+	// remaining division runs once per distinct value instead of once
+	// per access. Both rewrites are cycle-exact: Time is integer
+	// picoseconds, so comp.Sub(at) == comp(0), and the memo stores the
+	// identical int64(float64(d)/period*fp) result it replaces.
+	var latMemo [8]struct {
+		d   vclock.Duration
+		lat int64
+	}
+	memoN := 0
 
 	// Front-end position and retirement horizon, in fp cycles. The
 	// scoreboard is per-segment: each Duration call simulates an
@@ -243,18 +263,30 @@ func (m *Model) Duration(w isa.Work) vclock.Duration {
 			if dice >= loadT {
 				kind = mem.Write
 			}
-			at := vclock.Time(float64(issue) / fp * period)
-			comp := m.l1.Access(at, kind, mem.Addr(line*64), 8)
-			lat := int64(float64(comp.Sub(at)) / period * fp)
-			if lat < cfg.L1Lat*fp {
-				lat = cfg.L1Lat * fp
+			d := vclock.Duration(m.l1.AccessOne(0, kind, mem.Addr(line*64)))
+			lat := int64(-1)
+			for j := 0; j < memoN; j++ {
+				if latMemo[j].d == d {
+					lat = latMemo[j].lat
+					break
+				}
+			}
+			if lat < 0 {
+				lat = int64(float64(d) / period * fp)
+				if memoN < len(latMemo) {
+					latMemo[memoN].d, latMemo[memoN].lat = d, lat
+					memoN++
+				}
+			}
+			if lat < minMemLat {
+				lat = minMemLat
 			}
 			done = issue + lat
 		case dice < branchT:
 			done = issue + aluLat
 			if (x>>24)&(diceMax-1) >= predT {
 				m.Mispredicts++
-				front = issue + cfg.MispredictPenalty*fp
+				front = issue + mispredFP
 			}
 		case dice < muldivT:
 			done = issue + mulLat

@@ -24,6 +24,7 @@ import (
 	"nexsim/internal/isa"
 	"nexsim/internal/mem"
 	"nexsim/internal/memsys"
+	"nexsim/internal/parsim"
 	"nexsim/internal/trace"
 	"nexsim/internal/vclock"
 )
@@ -56,6 +57,8 @@ type DeviceBinding struct {
 	// MMIOWriteCost is the cost of a posted register write (the CPU does
 	// not wait for the device); default 120ns.
 	MMIOWriteCost vclock.Duration
+
+	idx int // position in Engine.devices, set by Attach
 }
 
 // Config parameterizes the engine.
@@ -79,6 +82,12 @@ type Config struct {
 	// caller must Reap it.
 	MaxSteps int64
 	MaxWall  time.Duration
+	// Intra >= 2 runs devices on up to Intra-1 stepper goroutines under
+	// conservative lookahead (DESIGN.md §10); results stay byte-identical
+	// to serial. Ignored (serial) when MaxSteps > 0: the serial loop
+	// counts device-advance iterations against the step budget, and the
+	// parallel loop must abort at the identical point.
+	Intra int
 }
 
 // Engine is an exact-time host simulator instance.
@@ -103,6 +112,11 @@ type Engine struct {
 	steps     int64          // event-queue steps taken
 	wallStart time.Time
 	exceeded  bool
+
+	// Parallel intra-run state (nil/zero when serial).
+	crew     *parsim.Crew
+	devWall  time.Duration
+	ranLanes int
 
 	// Statistics.
 	Interactions int64
@@ -163,6 +177,7 @@ func (e *Engine) Attach(b *DeviceBinding) {
 	if b.MMIOWriteCost == 0 {
 		b.MMIOWriteCost = 120 * vclock.Nanosecond // posted write
 	}
+	b.idx = len(e.devices)
 	e.devices = append(e.devices, b)
 }
 
@@ -180,6 +195,19 @@ type Result struct {
 // exceeded — check BudgetExceeded and Reap on abort) and returns the
 // simulated time.
 func (e *Engine) Run(prog app.Program) Result {
+	if e.cfg.Intra >= 2 && len(e.devices) > 0 && e.cfg.MaxSteps == 0 {
+		devs := make([]accel.Device, len(e.devices))
+		for i, b := range e.devices {
+			devs[i] = b.Device
+		}
+		e.crew = parsim.New(devs, e.cfg.Intra-1)
+		e.ranLanes = e.crew.Lanes()
+		defer func() {
+			e.devWall = e.crew.DeviceWall()
+			e.crew.Shutdown()
+			e.crew = nil
+		}()
+	}
 	main := e.newThread("main", prog.Main)
 	e.wakeAt(main, 0)
 	if e.cfg.MaxWall > 0 {
@@ -187,6 +215,13 @@ func (e *Engine) Run(prog app.Program) Result {
 	}
 	e.loop()
 	return Result{SimTime: e.evq.Now().Sub(0), Threads: e.nextTID}
+}
+
+// IntraStats reports the stepper-lane count of the last Run (0 when it
+// ran serially) and the cumulative wall time the steppers spent
+// advancing devices.
+func (e *Engine) IntraStats() (lanes int, deviceWall time.Duration) {
+	return e.ranLanes, e.devWall
 }
 
 // overBudget reports whether the run blew its step or wall budget. The
@@ -489,20 +524,61 @@ func (e *Engine) RaiseIRQ(at vclock.Time, vector int) {
 	e.wakeAt(th, wake)
 }
 
-// advanceDevices catches all devices up to time t.
+// advanceDevices catches all devices up to time t. In parallel mode
+// devices that cannot raise interrupts are granted the horizon for
+// their stepper lane instead of advancing inline; IRQ-capable devices
+// keep the serial schedule (joined first so the inline Advance cannot
+// race a still-draining grant from before the driver enabled IRQs).
 func (e *Engine) advanceDevices(t vclock.Time) {
 	if t < e.devTime {
 		return
 	}
 	e.devTime = t
-	for _, b := range e.devices {
-		b.Device.Advance(t)
+	if e.crew == nil {
+		for _, b := range e.devices {
+			b.Device.Advance(t)
+		}
+		return
+	}
+	for i, b := range e.devices {
+		if parsim.MayRaiseIRQ(b.Device) {
+			e.crew.Join(i)
+			b.Device.Advance(t)
+		} else {
+			e.crew.Grant(i, t)
+		}
+	}
+}
+
+// joinDev quiesces one device's stepper lane before the host observes
+// the device (an MMIO access, a stats read). No-op when serial.
+func (e *Engine) joinDev(b *DeviceBinding) {
+	if e.crew != nil {
+		e.crew.Join(b.idx)
 	}
 }
 
 func (e *Engine) minDeviceNext() (vclock.Time, bool) {
 	best, any := vclock.Never, false
 	for _, b := range e.devices {
+		if at, ok := b.Device.NextEvent(); ok && at < best {
+			best, any = at, true
+		}
+	}
+	return best, any
+}
+
+// minInlineNext is minDeviceNext restricted to IRQ-capable devices (the
+// ones advanced inline on the serial schedule). Async-granted devices
+// are skipped: their steppers may be mid-advance, and their internal
+// events cannot affect the host before the next joined observation.
+func (e *Engine) minInlineNext() (vclock.Time, bool) {
+	best, any := vclock.Never, false
+	for i, b := range e.devices {
+		if !parsim.MayRaiseIRQ(b.Device) {
+			continue
+		}
+		e.crew.Join(i)
 		if at, ok := b.Device.NextEvent(); ok && at < best {
 			best, any = at, true
 		}
@@ -519,15 +595,42 @@ func (e *Engine) loop() {
 			return
 		}
 		tNext, okT := e.evq.NextTime()
-		dNext, okD := e.minDeviceNext()
+		if e.crew == nil {
+			dNext, okD := e.minDeviceNext()
+			if okD && (!okT || dNext < tNext) {
+				e.advanceDevices(dNext)
+				continue
+			}
+			if !okT {
+				panic("exacthost: deadlock — live threads but no pending events or device activity")
+			}
+			e.evq.Step()
+			continue
+		}
+		// Parallel: IRQ-capable devices keep the exact serial
+		// interleave (their Advance can insert thread wakeups); the
+		// rest run ahead on their stepper lanes, bounded by the next
+		// thread event — the earliest time the host could observe them.
+		dNext, okD := e.minInlineNext()
 		if okD && (!okT || dNext < tNext) {
 			e.advanceDevices(dNext)
 			continue
 		}
-		if !okT {
+		if okT {
+			e.advanceDevices(tNext)
+			e.evq.Step()
+			continue
+		}
+		// No thread events, no inline device events: whatever remains
+		// lives on the stepper lanes. Quiesce and re-check serially —
+		// either a lane still has internal events (advance through
+		// them) or the run is genuinely deadlocked, exactly as serial.
+		e.crew.JoinAll()
+		dNext, okD = e.minDeviceNext()
+		if !okD {
 			panic("exacthost: deadlock — live threads but no pending events or device activity")
 		}
-		e.evq.Step()
+		e.advanceDevices(dNext)
 	}
 }
 

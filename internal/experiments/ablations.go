@@ -127,6 +127,7 @@ func AblationIOTLB(w io.Writer) error {
 				sys := core.Build(core.Config{
 					Host: core.HostNEX, Accel: core.AccelDSim, Model: b.Model,
 					Devices: b.Devices, Cores: 16, Seed: 42, IOTLB: tlb,
+					IntraParallel: intra,
 				})
 				return sys.Run(b.Build(&sys.Ctx))
 			})

@@ -101,7 +101,7 @@ func Table3(w io.Writer) error {
 func runWithAccelClock(b workloads.Bench, host core.HostKind, acc core.AccelKind, clk vclock.Hz) core.Result {
 	cfg := core.Config{
 		Host: host, Accel: acc, Model: b.Model, Devices: b.Devices,
-		Cores: 16, Seed: 42, AccelClock: clk,
+		Cores: 16, Seed: 42, AccelClock: clk, IntraParallel: intra,
 	}
 	sys := core.Build(cfg)
 	r := sys.Run(b.Build(&sys.Ctx))
@@ -179,7 +179,7 @@ func Tail(w io.Writer) error {
 func taskP90(name string, host core.HostKind, acc core.AccelKind) vclock.Duration {
 	b := benchByName(name)
 	cfg := core.Config{Host: host, Accel: acc, Model: b.Model,
-		Devices: b.Devices, Cores: 16, Seed: 42}
+		Devices: b.Devices, Cores: 16, Seed: 42, IntraParallel: intra}
 	sys := core.Build(cfg)
 	sys.Run(b.Build(&sys.Ctx))
 	spans := protoTaskSpans(sys)

@@ -219,6 +219,7 @@ func executeRun(b workloads.Bench, cfg core.Config) (res core.Result, err error)
 							cfg.Host, cfg.Accel, r.SimTime, core.ErrBudgetExceeded)
 					}
 					sys.Release()
+					noteWall(r)
 					return r, nil
 				}
 				sys.Release() // fall back to a straight run on a fresh build
@@ -231,6 +232,7 @@ func executeRun(b workloads.Bench, cfg core.Config) (res core.Result, err error)
 	if rerr != nil {
 		return core.Result{}, rerr
 	}
+	noteWall(r)
 	return r, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"nexsim/internal/core"
@@ -43,6 +44,51 @@ func SetParallelism(n int) {
 
 // Parallelism reports the current worker count.
 func Parallelism() int { return parallelism }
+
+// intra is the intra-run worker count applied to every simulation the
+// experiments launch (core.Config.IntraParallel): 1 (the default) keeps
+// each run single-threaded, >= 2 lets one run's host and device engines
+// execute concurrently. Results are byte-identical either way (the
+// conservative-parallel contract, DESIGN.md §10), which is also why
+// intra is deliberately NOT part of Spec: it is an execution knob, not
+// part of a run's identity, so content addresses and cached results are
+// shared across intra settings.
+var intra = 1
+
+// SetIntra sets the intra-run worker count for subsequently launched
+// simulations. n <= 1 selects the serial schedule. Not safe to call
+// while an experiment is running.
+func SetIntra(n int) {
+	if n < 1 {
+		n = 1
+	}
+	intra = n
+}
+
+// Intra reports the current intra-run worker count.
+func Intra() int { return intra }
+
+// wallHostNS/wallDeviceNS accumulate every run's host/device wall-time
+// split (core.Result.HostWall/DeviceWall) across the executeRun
+// chokepoint, so cmd/paperbench can attribute where an experiment's
+// wall time went. Atomic: sweep workers record concurrently.
+var wallHostNS, wallDeviceNS int64
+
+// noteWall records one completed run's wall split.
+func noteWall(r core.Result) {
+	atomic.AddInt64(&wallHostNS, int64(r.HostWall))
+	atomic.AddInt64(&wallDeviceNS, int64(r.DeviceWall))
+}
+
+// TakeWallSplit returns the host and device wall time accumulated
+// since the previous call, and resets the counters. Host wall is each
+// run's full wall time; device wall is the time accelerator stepper
+// lanes spent advancing concurrently with it (zero under -intra 1,
+// where devices advance inline on the host goroutine).
+func TakeWallSplit() (host, device time.Duration) {
+	return time.Duration(atomic.SwapInt64(&wallHostNS, 0)),
+		time.Duration(atomic.SwapInt64(&wallDeviceNS, 0))
+}
 
 // runJobs executes every enumerated job through the sweep executor and
 // returns the results in job order. Every simulation an experiment runs
@@ -125,8 +171,9 @@ func run(b workloads.Bench, host core.HostKind, acc core.AccelKind, o runOpts) c
 		Model: b.Model, Devices: b.Devices,
 		Cores: cores, Seed: o.seed,
 		Fabric: o.fabric, DMATarget: o.dma,
-		NEXNoTick:  o.noTick,
-		UseChannel: o.useChannel,
+		NEXNoTick:     o.noTick,
+		UseChannel:    o.useChannel,
+		IntraParallel: intra,
 	}
 	cfg.NEX.Epoch = o.nexEpoch
 	cfg.NEX.VirtualCores = o.nexVCores

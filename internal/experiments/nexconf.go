@@ -25,7 +25,7 @@ type npbRes struct {
 // runNPB executes one NPB kernel under NEX with the given parameters and
 // returns (simulated time, wall time, stats).
 func runNPB(kernel string, threads int, ncfg nex.Config, seed uint64) (vclock.Duration, time.Duration, nex.Stats) {
-	cfg := core.Config{Host: core.HostNEX, Cores: 16, Seed: seed}
+	cfg := core.Config{Host: core.HostNEX, Cores: 16, Seed: seed, IntraParallel: intra}
 	cfg.NEX = ncfg
 	sys := core.Build(cfg)
 	prog := workloads.NPBProgram(kernel, threads, sys.Ctx.Clock)
@@ -36,7 +36,7 @@ func runNPB(kernel string, threads int, ncfg nex.Config, seed uint64) (vclock.Du
 // npbNative runs the same kernel on the exact-time reference engine with
 // the given core count — the bare-metal ground truth.
 func npbNative(kernel string, threads, cores int) vclock.Duration {
-	cfg := core.Config{Host: core.HostReference, Cores: cores, Seed: 42}
+	cfg := core.Config{Host: core.HostReference, Cores: cores, Seed: 42, IntraParallel: intra}
 	sys := core.Build(cfg)
 	prog := workloads.NPBProgram(kernel, threads, sys.Ctx.Clock)
 	return sys.Run(prog).SimTime

@@ -221,7 +221,8 @@ func TightVsChan(w io.Writer) error {
 			tight := runWall(b, core.HostNEX, core.AccelDSim, runOpts{})
 			// Channel run, capturing message counts.
 			cfg := core.Config{Host: core.HostNEX, Accel: core.AccelDSim,
-				Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42, UseChannel: true}
+				Model: b.Model, Devices: b.Devices, Cores: 16, Seed: 42, UseChannel: true,
+				IntraParallel: intra}
 			sys := core.Build(cfg)
 			start := time.Now()
 			sys.Run(b.Build(&sys.Ctx))

@@ -21,6 +21,7 @@ func WhatIf(w io.Writer) error {
 		sys := core.Build(core.Config{
 			Host: core.HostNEX, Accel: core.AccelDSim,
 			Model: core.AccelJPEG, Devices: cfg.Threads, Cores: 16, Seed: 42,
+			IntraParallel: intra,
 		})
 		prog := workloads.JPEGProgram(cfg, &sys.Ctx)
 		return sys.Run(prog)

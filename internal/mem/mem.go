@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PageSize is the allocation granularity of the sparse memory.
@@ -56,12 +57,27 @@ func (r *Region) Contains(addr Addr, size int) bool {
 	return addr >= r.Base && uint64(addr)+uint64(size) <= uint64(r.Base)+r.Size
 }
 
-// Memory is a sparse simulated physical memory. It is not safe for
-// concurrent use; all engines are single-threaded event loops.
+// Memory is a sparse simulated physical memory. By default it is not
+// safe for concurrent use (all engines are single-threaded event
+// loops); in parallel intra-run mode SetConcurrent arms a page-table
+// lock so that the host and device stepper goroutines may access
+// *disjoint* byte ranges concurrently. Overlapping concurrent accesses
+// remain a contract violation (the data race they would constitute is
+// exactly the determinism bug, and `go test -race` surfaces it).
 type Memory struct {
 	pages   map[Addr][]byte // keyed by page base
 	regions []*Region       // sorted by Base
 	next    Addr            // bump allocator for Alloc
+	mu      *sync.RWMutex   // nil unless SetConcurrent was called
+}
+
+// SetConcurrent arms the page-table lock for cross-goroutine use. The
+// serial path keeps its zero-overhead lookups when this is never
+// called.
+func (m *Memory) SetConcurrent() {
+	if m.mu == nil {
+		m.mu = new(sync.RWMutex)
+	}
 }
 
 // New returns an empty memory whose allocator starts at base.
@@ -106,6 +122,22 @@ func (m *Memory) RegionAt(addr Addr) *Region {
 
 func (m *Memory) page(addr Addr) []byte {
 	base := addr &^ (PageSize - 1)
+	if m.mu != nil {
+		m.mu.RLock()
+		p, ok := m.pages[base]
+		m.mu.RUnlock()
+		if ok {
+			return p
+		}
+		m.mu.Lock()
+		p, ok = m.pages[base]
+		if !ok {
+			p = make([]byte, PageSize)
+			m.pages[base] = p
+		}
+		m.mu.Unlock()
+		return p
+	}
 	p, ok := m.pages[base]
 	if !ok {
 		p = make([]byte, PageSize)

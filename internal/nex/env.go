@@ -43,6 +43,9 @@ func (v *env) MMIORead(addr mem.Addr) uint32 {
 		if b == nil {
 			panic(fmt.Sprintf("nex: MMIO read of unmapped address %#x", uint64(addr)))
 		}
+		// Parallel intra-run mode: quiesce this device's stepper lane
+		// before observing it; other devices keep running.
+		v.e.joinDev(b)
 		out = b.Device.RegRead(at, addr-b.MMIOBase)
 		return b.MMIOCost
 	}})
@@ -55,6 +58,7 @@ func (v *env) MMIOWrite(addr mem.Addr, val uint32) {
 		if b == nil {
 			panic(fmt.Sprintf("nex: MMIO write of unmapped address %#x", uint64(addr)))
 		}
+		v.e.joinDev(b)
 		b.Device.RegWrite(at, addr-b.MMIOBase, val)
 		return b.MMIOWriteCost
 	}})

@@ -6,6 +6,7 @@ import (
 	"nexsim/internal/faults"
 	"nexsim/internal/isa"
 	"nexsim/internal/mem"
+	"nexsim/internal/parsim"
 	"nexsim/internal/trace"
 	"nexsim/internal/vclock"
 )
@@ -464,18 +465,47 @@ func (e *Engine) handleWarp(s *tstate, r coro.Request) {
 
 // advanceDevices catches the accelerator complex (including the
 // dedicated DMA simulator, which our synchronous fabric models in
-// lock-step) up to time t.
+// lock-step) up to time t. In parallel intra-run mode devices that
+// cannot raise interrupts are granted the horizon for their stepper
+// lane — the host thread keeps executing epochs while they catch up —
+// and are only waited for when the host next observes them (an MMIO
+// access joins the lane in env.MMIORead/MMIOWrite). IRQ-capable
+// devices keep the serial schedule: their Advance appends to e.pending,
+// which the host consumes at delivery boundaries.
 func (e *Engine) advanceDevices(t vclock.Time) {
 	if t < e.devTime {
 		return
 	}
 	e.devTime = t
-	for _, b := range e.devices {
-		b.Device.Advance(t)
+	if e.crew == nil {
+		for _, b := range e.devices {
+			b.Device.Advance(t)
+		}
+		return
+	}
+	for i, b := range e.devices {
+		if parsim.MayRaiseIRQ(b.Device) {
+			e.crew.Join(i)
+			b.Device.Advance(t)
+		} else {
+			e.crew.Grant(i, t)
+		}
+	}
+}
+
+// joinDev quiesces one device's stepper lane before the host observes
+// the device. No-op when serial.
+func (e *Engine) joinDev(b *DeviceBinding) {
+	if e.crew != nil {
+		e.crew.Join(b.idx)
 	}
 }
 
 func (e *Engine) minDeviceNext() (vclock.Time, bool) {
+	if e.crew != nil {
+		// NextEvent on a mid-advance device is a race; quiesce first.
+		e.crew.JoinAll()
+	}
 	best, any := vclock.Never, false
 	for _, b := range e.devices {
 		if at, ok := b.Device.NextEvent(); ok && at < best {

@@ -38,6 +38,7 @@ import (
 	"nexsim/internal/faults"
 	"nexsim/internal/mem"
 	"nexsim/internal/memsys"
+	"nexsim/internal/parsim"
 	"nexsim/internal/trace"
 	"nexsim/internal/vclock"
 	"nexsim/internal/xrand"
@@ -88,6 +89,8 @@ type DeviceBinding struct {
 	MMIOCost vclock.Duration
 	// MMIOWriteCost is the cost of a posted register write; default 120ns.
 	MMIOWriteCost vclock.Duration
+
+	idx int // position in Engine.devices, set by Attach
 }
 
 // Config parameterizes a NEX engine.
@@ -140,6 +143,11 @@ type Config struct {
 	// engine sets BudgetExceeded; the caller must Reap it.
 	MaxEpochs int64
 	MaxWall   time.Duration
+
+	// Intra >= 2 advances accelerator simulators on up to Intra-1
+	// stepper goroutines under conservative lookahead (DESIGN.md §10);
+	// results stay byte-identical to serial.
+	Intra int
 
 	// Faults is the per-run fault injector (nil = none). Device-bound
 	// traps cross the device.dispatch site.
@@ -241,6 +249,11 @@ type Engine struct {
 	loopTicks int64
 	wallStart time.Time
 	exceeded  bool
+
+	// Parallel intra-run state (nil/zero when serial).
+	crew     *parsim.Crew
+	devWall  time.Duration
+	ranLanes int
 
 	Stats Stats
 }
@@ -352,6 +365,7 @@ func (e *Engine) Attach(b *DeviceBinding) {
 	if b.MMIOWriteCost == 0 {
 		b.MMIOWriteCost = 120 * vclock.Nanosecond
 	}
+	b.idx = len(e.devices)
 	e.devices = append(e.devices, b)
 	// The NEX runtime protects the device's MMIO window so that any
 	// faulting access first catches the accelerator complex up — the
@@ -380,9 +394,43 @@ func (e *Engine) Run(prog app.Program) Result {
 	main := e.newThread("main", prog.Main)
 	e.setWake(st(main), 0)
 	e.nextSync = vclock.Time(e.cfg.SyncInterval)
+	defer e.stopCrew()
+	e.startCrew()
 	e.startWatchdog()
 	e.loop()
 	return e.result()
+}
+
+// startCrew spawns the stepper lanes for parallel intra-run mode; no-op
+// when serial.
+func (e *Engine) startCrew() {
+	if e.cfg.Intra < 2 || len(e.devices) == 0 || e.crew != nil {
+		return
+	}
+	devs := make([]accel.Device, len(e.devices))
+	for i, b := range e.devices {
+		devs[i] = b.Device
+	}
+	e.crew = parsim.New(devs, e.cfg.Intra-1)
+	e.ranLanes = e.crew.Lanes()
+}
+
+// stopCrew quiesces and terminates the stepper lanes, folding their
+// busy time into the run's device-wall statistic.
+func (e *Engine) stopCrew() {
+	if e.crew == nil {
+		return
+	}
+	e.devWall += e.crew.DeviceWall()
+	e.crew.Shutdown()
+	e.crew = nil
+}
+
+// IntraStats reports the stepper-lane count of the last Run (0 when it
+// ran serially) and the cumulative wall time the steppers spent
+// advancing devices.
+func (e *Engine) IntraStats() (lanes int, deviceWall time.Duration) {
+	return e.ranLanes, e.devWall
 }
 
 // startWatchdog anchors the wall-clock budget at run (or resume) start.

@@ -1,0 +1,192 @@
+package parsim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nexsim/internal/accel"
+	"nexsim/internal/mem"
+	"nexsim/internal/vclock"
+	"nexsim/internal/xrand"
+)
+
+// fakeDev records the Advance targets it saw and can panic on demand.
+type fakeDev struct {
+	name     string
+	targets  []vclock.Time
+	now      vclock.Time
+	panicAt  vclock.Time // panic when advanced past this (0 = never)
+	panicVal any
+	steps    atomic.Int64
+	mayIRQ   bool
+}
+
+func (d *fakeDev) Name() string                                    { return d.name }
+func (d *fakeDev) RegRead(at vclock.Time, off mem.Addr) uint32     { return 0 }
+func (d *fakeDev) RegWrite(at vclock.Time, off mem.Addr, v uint32) {}
+func (d *fakeDev) NextEvent() (vclock.Time, bool)                  { return vclock.Never, false }
+func (d *fakeDev) Stats() accel.DeviceStats                        { return accel.DeviceStats{} }
+func (d *fakeDev) MayRaiseIRQ() bool                               { return d.mayIRQ }
+
+func (d *fakeDev) Advance(t vclock.Time) {
+	if t < d.now {
+		return
+	}
+	d.now = t
+	d.targets = append(d.targets, t)
+	d.steps.Add(1)
+	if d.panicAt > 0 && t >= d.panicAt {
+		panic(d.panicVal)
+	}
+}
+
+func TestGrantJoinMonotonic(t *testing.T) {
+	devs := []accel.Device{&fakeDev{name: "d0"}, &fakeDev{name: "d1"}}
+	c := New(devs, 2)
+	defer c.Shutdown()
+	for i := 1; i <= 100; i++ {
+		tm := vclock.Time(i) * 10
+		c.Grant(0, tm)
+		c.Grant(1, tm)
+	}
+	c.JoinAll()
+	for _, d := range devs {
+		fd := d.(*fakeDev)
+		if fd.now != 1000 {
+			t.Fatalf("%s reached %v, want 1000", fd.name, fd.now)
+		}
+		last := vclock.Time(0)
+		for _, tt := range fd.targets {
+			if tt < last {
+				t.Fatalf("%s saw non-monotonic target %v after %v", fd.name, tt, last)
+			}
+			last = tt
+		}
+	}
+}
+
+func TestRoundRobinAssignment(t *testing.T) {
+	devs := []accel.Device{
+		&fakeDev{name: "d0"}, &fakeDev{name: "d1"},
+		&fakeDev{name: "d2"}, &fakeDev{name: "d3"},
+	}
+	c := New(devs, 2)
+	defer c.Shutdown()
+	if c.Lanes() != 2 {
+		t.Fatalf("lanes = %d, want 2", c.Lanes())
+	}
+	// d0,d2 share a lane; d1,d3 share the other.
+	if c.byDev[0] != c.byDev[2] || c.byDev[1] != c.byDev[3] || c.byDev[0] == c.byDev[1] {
+		t.Fatal("round-robin lane assignment broken")
+	}
+	// Granting device 0 advances every device on its lane (the lane's
+	// horizon is shared).
+	c.Grant(0, 50)
+	c.Join(0)
+	if devs[2].(*fakeDev).now != 50 {
+		t.Fatalf("lane-mate not advanced: %v", devs[2].(*fakeDev).now)
+	}
+	if devs[1].(*fakeDev).now != 0 {
+		t.Fatalf("other lane advanced: %v", devs[1].(*fakeDev).now)
+	}
+}
+
+func TestLanesClamped(t *testing.T) {
+	devs := []accel.Device{&fakeDev{name: "d0"}}
+	c := New(devs, 8)
+	defer c.Shutdown()
+	if c.Lanes() != 1 {
+		t.Fatalf("lanes = %d, want 1", c.Lanes())
+	}
+	if New(nil, 4) != nil {
+		t.Fatal("crew over zero devices should be nil")
+	}
+}
+
+func TestFaultReraisedAtJoin(t *testing.T) {
+	boom := &struct{ msg string }{"injected"}
+	d := &fakeDev{name: "d0", panicAt: 100, panicVal: boom}
+	c := New([]accel.Device{d}, 1)
+	defer c.Shutdown()
+	c.Grant(0, 200)
+	defer func() {
+		r := recover()
+		if r != boom {
+			t.Fatalf("join re-raised %v, want the stepper's panic value", r)
+		}
+		// After the fault is consumed the crew still shuts down cleanly.
+		c.Grant(0, 300)
+		c.Shutdown()
+	}()
+	c.Join(0)
+	t.Fatal("join did not re-panic")
+}
+
+func TestMayRaiseIRQUnwrapsAndDefaults(t *testing.T) {
+	quiet := &fakeDev{name: "q", mayIRQ: false}
+	loud := &fakeDev{name: "l", mayIRQ: true}
+	if MayRaiseIRQ(quiet) {
+		t.Fatal("quiet device reported IRQ-capable")
+	}
+	if !MayRaiseIRQ(loud) {
+		t.Fatal("loud device reported quiet")
+	}
+	if !MayRaiseIRQ(bareDevice{}) {
+		t.Fatal("unknown device must default to IRQ-capable (serial schedule)")
+	}
+	if MayRaiseIRQ(wrapped{quiet}) {
+		t.Fatal("unwrap chain not followed")
+	}
+}
+
+type bareDevice struct{}
+
+func (bareDevice) Name() string                                    { return "bare" }
+func (bareDevice) RegRead(at vclock.Time, off mem.Addr) uint32     { return 0 }
+func (bareDevice) RegWrite(at vclock.Time, off mem.Addr, v uint32) {}
+func (bareDevice) Advance(t vclock.Time)                           {}
+func (bareDevice) NextEvent() (vclock.Time, bool)                  { return vclock.Never, false }
+func (bareDevice) Stats() accel.DeviceStats                        { return accel.DeviceStats{} }
+
+type wrapped struct{ inner accel.Device }
+
+func (w wrapped) Name() string                                    { return "w" }
+func (w wrapped) RegRead(at vclock.Time, off mem.Addr) uint32     { return 0 }
+func (w wrapped) RegWrite(at vclock.Time, off mem.Addr, v uint32) {}
+func (w wrapped) Advance(t vclock.Time)                           {}
+func (w wrapped) NextEvent() (vclock.Time, bool)                  { return vclock.Never, false }
+func (w wrapped) Stats() accel.DeviceStats                        { return accel.DeviceStats{} }
+func (w wrapped) Unwrap() accel.Device                            { return w.inner }
+
+// TestConcurrentGrantsRandomized stresses grant/join interleavings
+// under -race: random horizon bumps, random joins, with the invariant
+// that after every join the device has reached the latest grant.
+func TestConcurrentGrantsRandomized(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := xrand.New(0x9e77 + uint64(trial))
+		devs := make([]accel.Device, 3)
+		for i := range devs {
+			devs[i] = &fakeDev{name: "d"}
+		}
+		c := New(devs, 1+trial%3)
+		horizon := make([]vclock.Time, len(devs))
+		for step := 0; step < 500; step++ {
+			i := rng.Intn(len(devs))
+			switch rng.Intn(3) {
+			case 0, 1:
+				horizon[i] += vclock.Time(1 + rng.Intn(50))
+				c.Grant(i, horizon[i])
+			case 2:
+				c.Join(i)
+				// Lane-mates share a horizon, so the device may be ahead
+				// of its own grant — never behind it.
+				if got := devs[i].(*fakeDev).now; got < horizon[i] {
+					t.Fatalf("after join, device %d at %v, want >= %v", i, got, horizon[i])
+				}
+			}
+		}
+		c.JoinAll()
+		c.Shutdown()
+		c.Shutdown() // idempotent
+	}
+}

@@ -44,14 +44,17 @@ const (
 
 const headerSize = 1 + 8 + 8 + 8 + 4 // type | timestamp | addr | aux | len
 
-// Channel is a shared-memory message ring between two simulators. The
-// ring doubles as the encode/decode scratch: headers and payloads are
-// marshaled directly into it and decoded as views of it, so the
-// steady-state per-message cost is the copy itself — zero heap
-// allocations (TestChannelSteadyStateAllocFree pins this).
+// Channel is a shared-memory message ring between two simulators,
+// backed by a bounded SPSC Ring safe for cross-goroutine use: in
+// parallel intra-run mode (core.Config.IntraParallel) the device side
+// marshals on its stepper goroutine and the host side decodes after a
+// join, with the ring's atomic indices carrying the happens-before
+// edges. Headers and payloads are marshaled through a grow-once scratch
+// buffer, so the steady-state per-message cost is the copy itself —
+// zero heap allocations (TestChannelSteadyStateAllocFree pins this).
 type Channel struct {
-	ring []byte
-	head int
+	ring    *Ring
+	scratch []byte
 
 	// faults crosses the chan.send / chan.recv injection sites on every
 	// message (nil = no-op): a fail fault drops the message by panicking
@@ -71,16 +74,13 @@ func (c *Channel) SetFaults(in *faults.Injector) { c.faults = in }
 // NewChannel allocates a channel with the given ring capacity (default
 // 256KB).
 func NewChannel(size int) *Channel {
-	if size <= 0 {
-		size = 256 << 10
-	}
-	return &Channel{ring: make([]byte, size)}
+	return &Channel{ring: NewRing(size)}
 }
 
-// send encodes one message into the ring and returns the slot; recv
-// decodes it back out. Encoding and decoding are the per-message cost
-// that the tight integration avoids.
-func (c *Channel) send(typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) int {
+// send encodes one message through the scratch buffer and publishes it
+// on the ring. Encoding and the ring copy are the per-message cost that
+// the tight integration avoids.
+func (c *Channel) send(typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) {
 	if inj := c.faults.Hit(faults.SiteChanSend); inj != nil {
 		if inj.Op == faults.OpFail {
 			panic(inj)
@@ -88,32 +88,36 @@ func (c *Channel) send(typ byte, ts vclock.Time, addr uint64, aux uint64, payloa
 		ts = ts.Add(vclock.Duration(inj.Delay))
 	}
 	need := headerSize + len(payload)
-	if need > len(c.ring) {
-		// Grow once to fit the largest message seen; the ring is shared
-		// scratch, so this never becomes a per-message allocation.
-		c.ring = make([]byte, 2*need)
-		c.head = 0
+	if need > len(c.scratch) {
+		// Grow once to fit the largest message seen; never a
+		// per-message allocation.
+		c.scratch = make([]byte, 2*need)
 	}
-	if c.head+need > len(c.ring) {
-		c.head = 0
+	if need+8 > c.ring.Cap() && c.ring.Len() == 0 {
+		// Grow the ring once for the largest message seen. Only legal
+		// while empty; roundTrip usage drains every message
+		// synchronously, so an oversize message always finds the ring
+		// empty.
+		c.ring = NewRing(2 * need)
 	}
-	slot := c.head
-	b := c.ring[slot:]
+	b := c.scratch
 	b[0] = typ
 	binary.LittleEndian.PutUint64(b[1:], uint64(ts))
 	binary.LittleEndian.PutUint64(b[9:], addr)
 	binary.LittleEndian.PutUint64(b[17:], aux)
 	binary.LittleEndian.PutUint32(b[25:], uint32(len(payload)))
 	copy(b[headerSize:], payload)
-	c.head += need
+	c.ring.Push(b[:need])
 	c.Msgs++
 	c.Bytes += int64(need)
-	return slot
 }
 
-// recv decodes the message at slot.
-func (c *Channel) recv(slot int) (typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) {
-	b := c.ring[slot:]
+// recv consumes the next message from the ring. The payload view stays
+// valid until the producer has pushed a full ring capacity of further
+// bytes; with the synchronous roundTrip discipline that is always long
+// enough for the caller to copy it out.
+func (c *Channel) recv() (typ byte, ts vclock.Time, addr uint64, aux uint64, payload []byte) {
+	b := c.ring.popRaw()
 	typ = b[0]
 	ts = vclock.Time(binary.LittleEndian.Uint64(b[1:]))
 	if inj := c.faults.Hit(faults.SiteChanRecv); inj != nil {
@@ -133,8 +137,8 @@ func (c *Channel) recv(slot int) (typ byte, ts vclock.Time, addr uint64, aux uin
 // simulators run in one process here, so the "other side" dequeues
 // synchronously — SimBricks' polling consumer).
 func (c *Channel) roundTrip(typ byte, ts vclock.Time, addr, aux uint64, payload []byte) (vclock.Time, uint64, uint64, []byte) {
-	slot := c.send(typ, ts, addr, aux, payload)
-	_, rts, raddr, raux, rp := c.recv(slot)
+	c.send(typ, ts, addr, aux, payload)
+	_, rts, raddr, raux, rp := c.recv()
 	return rts, raddr, raux, rp
 }
 

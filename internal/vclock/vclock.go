@@ -34,6 +34,26 @@ const Never Time = 1<<63 - 1
 // Add returns t shifted forward by d.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
+// SatAdd returns t shifted forward by d, saturating at Never. Horizon
+// arithmetic uses it so that an idle neighbor (Never) plus a link
+// latency stays Never instead of wrapping negative.
+func (t Time) SatAdd(d Duration) Time {
+	if t == Never || d >= Duration(Never-t) {
+		return Never
+	}
+	return t + Time(d)
+}
+
+// MinTime returns the earlier of two times. With Never as the identity
+// it folds conservative horizons: min over neighbors of (time + link
+// latency).
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 

@@ -100,3 +100,30 @@ func TestHzString(t *testing.T) {
 		t.Errorf("got %q", got)
 	}
 }
+
+func TestSatAdd(t *testing.T) {
+	if got := Time(100).SatAdd(50); got != Time(150) {
+		t.Errorf("SatAdd = %v", got)
+	}
+	if got := Never.SatAdd(Nanosecond); got != Never {
+		t.Errorf("Never.SatAdd = %v, want Never", got)
+	}
+	if got := Time(Never - 1).SatAdd(Microsecond); got != Never {
+		t.Errorf("near-Never SatAdd = %v, want Never", got)
+	}
+	if got := Time(0).SatAdd(Duration(Never)); got != Never {
+		t.Errorf("SatAdd(Never-width) = %v, want Never", got)
+	}
+}
+
+func TestMinTime(t *testing.T) {
+	if got := MinTime(Time(3), Time(7)); got != Time(3) {
+		t.Errorf("MinTime = %v", got)
+	}
+	if got := MinTime(Never, Time(7)); got != Time(7) {
+		t.Errorf("MinTime(Never, 7) = %v", got)
+	}
+	if got := MinTime(Never, Never); got != Never {
+		t.Errorf("MinTime(Never, Never) = %v", got)
+	}
+}

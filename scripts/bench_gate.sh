@@ -1,0 +1,115 @@
+#!/bin/sh
+# bench_gate.sh — wall-time regression gate: re-run the full experiment
+# suite the way the committed baseline (paperbench -json format) was
+# produced and fail if any table got slower than its baseline wall time
+# by more than the tolerance factor. Opt-in via `make bench-gate` —
+# wall times are too machine- and load-dependent for the tier-1
+# check.sh gate, but a >TOL-factor regression on the same machine is a
+# real signal.
+#
+# The gate runs `-exp all` in ONE process, exactly like `make bench`
+# writes the baseline: per-experiment processes would charge each small
+# table the cold-start cost (pool/slab warmup) that the baseline's
+# earlier experiments absorbed, and drown the signal.
+#
+# Environment knobs:
+#   BASELINE  baseline JSON (default BENCH_pr8.json)
+#   TOL       allowed slowdown factor per table (default 1.5)
+#   MINWALL   skip tables whose baseline wall is below this many ms
+#             (default 200): sub-200ms tables are dominated by
+#             scheduler/GC noise, not by the code under test
+#   PARALLEL  -parallel workers for the gate run (default: the value
+#             recorded in the baseline, so the gate reproduces the
+#             baseline's own conditions)
+#   INTRA     -intra workers for the gate run (default: the baseline's
+#             recorded intra count, GOMAXPROCS raised to 4 when it is
+#             >1 so stepper lanes are real on single-core CI)
+set -eu
+
+BASELINE="${BASELINE:-BENCH_pr8.json}"
+TOL="${TOL:-1.5}"
+MINWALL="${MINWALL:-200}"
+PARALLEL="${PARALLEL:-}"
+INTRA="${INTRA:-}"
+
+test -f "$BASELINE" || {
+    echo "bench-gate: baseline $BASELINE not found" >&2
+    exit 1
+}
+
+TMPDIR_GATE="$(mktemp -d)"
+cleanup() {
+    status=$?
+    rm -rf "$TMPDIR_GATE"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-gate: building paperbench"
+go build -o "$TMPDIR_GATE/paperbench" ./cmd/paperbench
+
+# field FILE ID KEY — extract one numeric/string field from the entry
+# with the given id in a paperbench -json report (MarshalIndent puts
+# every field on its own line, so entry-scoped sed is enough).
+field() {
+    awk -v id="$2" -v key="$3" '
+        $0 ~ "\"id\": \"" id "\"" { inentry = 1 }
+        inentry && $0 ~ "\"" key "\":" {
+            v = $2
+            gsub(/[",]/, "", v)
+            print v
+            exit
+        }' "$1"
+}
+
+ids="$(sed -n 's/^ *"id": "\([a-z0-9-]*\)",$/\1/p' "$BASELINE")"
+test -n "$ids" || {
+    echo "bench-gate: no experiment ids in $BASELINE" >&2
+    exit 1
+}
+
+# Reproduce the baseline's run conditions unless the caller pinned
+# PARALLEL/INTRA explicitly (the baseline records them per entry; they
+# are uniform across one `make bench` run, so read the first).
+first_id="$(echo "$ids" | head -1)"
+par="$PARALLEL"
+[ -n "$par" ] || par="$(field "$BASELINE" "$first_id" parallel)"
+[ -n "$par" ] || par=1
+intra="$INTRA"
+[ -n "$intra" ] || intra="$(field "$BASELINE" "$first_id" intra)"
+[ -n "$intra" ] || intra=1
+gmp="${GOMAXPROCS:-}"
+if [ -z "$gmp" ] && [ "$intra" -gt 1 ]; then
+    gmp=4
+fi
+
+echo "bench-gate: running -exp all -parallel $par -intra $intra (GOMAXPROCS=${gmp:-default})"
+GOMAXPROCS="$gmp" "$TMPDIR_GATE/paperbench" -exp all -checkpoints \
+    -parallel "$par" -intra "$intra" -json "$TMPDIR_GATE/now.json" >/dev/null
+
+fail=0
+for id in $ids; do
+    base_ms="$(field "$BASELINE" "$id" wall_ms)"
+    now_ms="$(field "$TMPDIR_GATE/now.json" "$id" wall_ms)"
+    if [ -z "$now_ms" ]; then
+        printf 'bench-gate: %-14s baseline %10.1fms  now     MISSING  REGRESSED\n' \
+            "$id" "$base_ms"
+        fail=1
+        continue
+    fi
+    verdict="$(awk -v now="$now_ms" -v base="$base_ms" -v tol="$TOL" -v minw="$MINWALL" \
+        'BEGIN {
+            if (base < minw) { printf "skipped (<%sms)", minw }
+            else if (now > base * tol) { printf "REGRESSED" }
+            else { printf "ok" }
+        }')"
+    printf 'bench-gate: %-14s baseline %10.1fms  now %10.1fms  (tol %sx)  %s\n' \
+        "$id" "$base_ms" "$now_ms" "$TOL" "$verdict"
+    [ "$verdict" = "REGRESSED" ] && fail=1 || true
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench-gate: FAIL — table(s) regressed beyond ${TOL}x of $BASELINE" >&2
+    exit 1
+fi
+echo "bench-gate: PASS (all tables within ${TOL}x of $BASELINE)"

@@ -32,4 +32,16 @@ if ! diff -u "$TMPDIR_SMOKE/plain.txt" "$TMPDIR_SMOKE/ckpt.txt"; then
     echo "ckpt-smoke: FAIL -checkpoints changed experiment output" >&2
     exit 1
 fi
-echo "ckpt-smoke: PASS (outputs byte-identical)"
+
+# Checkpoints must also compose with intra-run parallelism: forked runs
+# resume with stepper lanes live, and the result must still match the
+# serial no-checkpoint baseline byte for byte. GOMAXPROCS is raised so
+# the intra clamp does not quietly serialize the run on single-core CI.
+echo "ckpt-smoke: running table4 with checkpoints and -intra 2"
+GOMAXPROCS=4 "$TMPDIR_SMOKE/paperbench" -exp table4 -parallel 1 -checkpoints -intra 2 |
+    strip_wall >"$TMPDIR_SMOKE/ckpt_intra.txt"
+if ! diff -u "$TMPDIR_SMOKE/plain.txt" "$TMPDIR_SMOKE/ckpt_intra.txt"; then
+    echo "ckpt-smoke: FAIL -checkpoints -intra 2 changed experiment output" >&2
+    exit 1
+fi
+echo "ckpt-smoke: PASS (outputs byte-identical, with and without -intra)"
