@@ -6,11 +6,16 @@
 set -eux
 
 # Style/determinism gate: gofmt-clean tree, vet-clean, and zero simlint
-# findings (internal/analysis: nondet-time, nondet-rand, map-order,
-# stray-goroutine, unchecked-error).
+# findings (internal/analysis; DESIGN.md §5 — five local checkers plus
+# the whole-program snapshot-drift, fault-site-registry, lane-safety,
+# and hotpath-alloc invariants).
 test -z "$(gofmt -l .)"
 go vet ./...
 go run ./cmd/simlint
+
+# Findings-cache gate: cold-populate a fresh cache, warm-replay it,
+# assert identical findings and a >=3x warm speedup (DESIGN.md §5.5).
+sh scripts/lint_cache_smoke.sh
 
 go build ./...
 go test ./...

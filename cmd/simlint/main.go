@@ -4,12 +4,26 @@
 // Usage:
 //
 //	simlint [-dir .] [-c checker,checker] [-json] [-list]
+//	        [-cache-dir DIR] [-baseline FILE] [-write-baseline FILE]
 //
-// When -dir points inside a testdata directory, simlint analyzes just
-// that one package (the module walk skips testdata), so the fixture
-// corpus can be exercised from the command line:
+// When -dir points inside a testdata directory, simlint analyzes the
+// fixture corpus instead of the module: a single fixture package, or —
+// when the directory only contains fixture packages — every one of
+// them, sharing one type-checked module so each dependency loads
+// exactly once:
 //
 //	simlint -dir internal/analysis/testdata/src/maporder
+//	simlint -dir internal/analysis/testdata/src
+//
+// -cache-dir enables the on-disk findings cache (module mode only):
+// warm runs skip type-checking entirely and replay stored findings,
+// keyed by file content hashes. `make lint` uses it; `make lint-cold`
+// bypasses it.
+//
+// -baseline suppresses known findings listed in FILE (one Key per
+// line, as written by -write-baseline), so the suite can be adopted
+// incrementally on a tree with accepted debt. Baselined findings are
+// reported to stderr as a count but do not affect the exit status.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on a tool
 // or load error. `make lint` runs it alongside gofmt and go vet.
@@ -28,38 +42,78 @@ import (
 
 func main() {
 	var (
-		dir      = flag.String("dir", ".", "directory inside the module to lint (the module root is discovered from it)")
-		checkers = flag.String("c", "", "comma-separated checker IDs to run (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
-		list     = flag.Bool("list", false, "list available checkers and exit")
+		dir           = flag.String("dir", ".", "directory inside the module to lint (the module root is discovered from it)")
+		checkers      = flag.String("c", "", "comma-separated checker IDs to run (default: all)")
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		list          = flag.Bool("list", false, "list available checkers and exit")
+		cacheDir      = flag.String("cache-dir", "", "findings cache directory (module mode only; empty disables caching)")
+		baseline      = flag.String("baseline", "", "suppress findings whose keys appear in this file")
+		writeBaseline = flag.String("write-baseline", "", "write current finding keys to this file and exit 0")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, c := range analysis.Checkers() {
-			fmt.Printf("%-16s %s\n", c.ID, c.Doc)
+			fmt.Printf("%-20s %s\n", c.ID, c.Doc)
 		}
 		return
 	}
 
 	root, err := findModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	var names []string
 	if *checkers != "" {
 		names = strings.Split(*checkers, ",")
 	}
+
 	var findings []analysis.Finding
-	if fixtureDir(*dir) {
-		findings, err = analysis.AnalyzeFixtureDir(root, *dir, names)
-	} else {
+	switch {
+	case fixtureDir(*dir):
+		findings, err = analysis.AnalyzeFixtureTree(root, *dir, names)
+	case *cacheDir != "":
+		var cache *analysis.Cache
+		cache, err = analysis.OpenCache(*cacheDir)
+		if err == nil {
+			var warm bool
+			findings, warm, err = analysis.AnalyzeModuleCached(root, names, cache)
+			if err == nil && warm {
+				fmt.Fprintln(os.Stderr, "simlint: warm cache")
+			}
+		}
+	default:
 		findings, err = analysis.AnalyzeModule(root, names)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d key(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		known, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var kept []analysis.Finding
+		suppressed := 0
+		for _, f := range findings {
+			if known[f.Key()] {
+				suppressed++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+		findings = kept
 	}
 
 	if *jsonOut {
@@ -69,8 +123,7 @@ func main() {
 			findings = []analysis.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 	} else {
 		for _, f := range findings {
@@ -84,6 +137,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}
+
+// readBaseline loads one finding key per line; blank lines and
+// #-comments are skipped.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	keys := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	return keys, nil
+}
+
+// writeBaselineFile records the keys of the current findings, sorted as
+// reported, so reruns diff cleanly.
+func writeBaselineFile(path string, findings []analysis.Finding) error {
+	var b strings.Builder
+	b.WriteString("# simlint baseline: accepted findings by key (file:line:col:checker).\n")
+	b.WriteString("# Regenerate with: simlint -write-baseline " + filepath.Base(path) + "\n")
+	for _, f := range findings {
+		b.WriteString(f.Key())
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // fixtureDir reports whether dir lies inside a testdata tree.

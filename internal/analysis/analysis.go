@@ -12,6 +12,15 @@
 // same-named functions from other packages neither fool it nor false-
 // positive it).
 //
+// The suite has two kinds of checkers. Local checkers (nondet-time,
+// nondet-rand, map-order, stray-goroutine, unchecked-error) examine one
+// package at a time. Whole-program checkers (snapshot-drift,
+// fault-site-registry, lane-safety, hotpath-alloc) run once over the
+// full module with the call graph (callgraph.go): they encode the
+// cross-module contracts the checkpoint/fork, fault-injection and
+// parallel intra-run subsystems rely on, where the bug is precisely
+// that two far-apart places silently disagree.
+//
 // Findings can be suppressed at legitimate sites with an inline
 // directive on the offending line or the line above:
 //
@@ -20,13 +29,16 @@
 // The directive names one checker (or a comma-separated list) and an
 // optional free-form reason. Whole-file allowlists for intrinsically
 // wall-clock code (cmd/paperbench, examples/, internal/experiments/
-// speed.go) live in defaultAllow below.
+// speed.go) live in defaultAllow below. See directives.go for the
+// //simlint:transient and //simlint:hotpath annotations the
+// whole-program checkers consume.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -46,14 +58,28 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Checker, f.Message)
 }
 
-// Checker is one named analysis pass.
-type Checker struct {
-	ID  string
-	Doc string
-	Run func(p *Pass)
+// Key is the finding's stable identity for baseline comparison: position
+// plus checker, without the message text (messages may be reworded).
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s:%d:%d:%s", f.File, f.Line, f.Col, f.Checker)
 }
 
-// Checkers returns the full suite in stable order.
+// Checker is one named analysis pass. Exactly one of Run (local,
+// per-package) and RunModule (whole-program) is set.
+type Checker struct {
+	ID        string
+	Doc       string
+	Run       func(p *Pass)
+	RunModule func(p *ModulePass)
+}
+
+// Global reports whether the checker needs the whole module (call
+// graph, cross-package facts) rather than one package at a time.
+func (c *Checker) Global() bool { return c.RunModule != nil }
+
+// Checkers returns the full suite in stable order: the five local
+// determinism checkers from the original suite, then the four
+// whole-program invariant checkers.
 func Checkers() []*Checker {
 	return []*Checker{
 		nondetTimeChecker,
@@ -61,6 +87,10 @@ func Checkers() []*Checker {
 		mapOrderChecker,
 		strayGoroutineChecker,
 		uncheckedErrorChecker,
+		snapshotDriftChecker,
+		faultSiteChecker,
+		laneSafetyChecker,
+		hotpathAllocChecker,
 	}
 }
 
@@ -103,7 +133,7 @@ var defaultAllow = map[string][]string{
 	},
 }
 
-// Pass is the per-package context handed to a checker's Run.
+// Pass is the per-package context handed to a local checker's Run.
 type Pass struct {
 	Checker *Checker
 	Module  *Module
@@ -114,26 +144,34 @@ type Pass struct {
 }
 
 // relFile converts a token.Pos to a module-relative slash path.
-func (p *Pass) relFile(pos token.Pos) string {
-	file := p.Module.Fset.Position(pos).Filename
-	if rel, err := filepath.Rel(p.Module.Root, file); err == nil {
+func relFile(m *Module, pos token.Pos) string {
+	file := m.Fset.Position(pos).Filename
+	if rel, err := filepath.Rel(m.Root, file); err == nil {
 		return filepath.ToSlash(rel)
 	}
 	return filepath.ToSlash(file)
 }
 
-// allowed reports whether file (module-relative) is allowlisted for the
-// current checker.
-func (p *Pass) allowed(file string) bool {
+func (p *Pass) relFile(pos token.Pos) string { return relFile(p.Module, pos) }
+
+// allowedFile reports whether file (module-relative) is allowlisted for
+// the checker.
+func allowedFile(checkerID, file string) bool {
 	if strings.HasSuffix(file, "_test.go") {
 		return true
 	}
-	for _, prefix := range defaultAllow[p.Checker.ID] {
+	for _, prefix := range defaultAllow[checkerID] {
 		if file == prefix || strings.HasPrefix(file, prefix) {
 			return true
 		}
 	}
 	return false
+}
+
+// allowed reports whether file (module-relative) is allowlisted for the
+// current checker.
+func (p *Pass) allowed(file string) bool {
+	return allowedFile(p.Checker.ID, file)
 }
 
 // Report records a finding unless the site is allowlisted or carries a
@@ -157,59 +195,114 @@ func (p *Pass) Report(pos token.Pos, msg, fix string) {
 	})
 }
 
-// suppressions scans a file's comments for //simlint:allow directives and
-// returns, per checker ID, the set of source lines the directive covers
-// (its own line and the one below it).
-func suppressions(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
-	out := map[string]map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//simlint:allow")
-			if !ok {
-				continue
-			}
-			fields := strings.Fields(text)
-			if len(fields) == 0 {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			for _, id := range strings.Split(fields[0], ",") {
-				if out[id] == nil {
-					out[id] = map[int]bool{}
-				}
-				out[id][line] = true
-				out[id][line+1] = true
+// ModulePass is the whole-program context handed to a global checker's
+// RunModule. Scope is the set of packages findings may be reported in
+// (the full module in a normal run, a single fixture package in fixture
+// mode); the checker may *read* any loaded package — the call graph
+// spans them all — but must anchor findings inside Scope.
+type ModulePass struct {
+	Checker *Checker
+	Module  *Module
+	Scope   []*Package
+
+	inScope  map[*Package]bool
+	suppress map[string]map[int]bool // file -> line -> suppressed
+	findings *[]Finding
+}
+
+// InScope reports whether findings may be anchored in pkg.
+func (p *ModulePass) InScope(pkg *Package) bool { return p.inScope[pkg] }
+
+// Report records a finding if pos lies inside a Scope package's files
+// and the site is neither allowlisted nor suppressed inline.
+func (p *ModulePass) Report(pos token.Pos, msg, fix string) {
+	position := p.Module.Fset.Position(pos)
+	file := relFile(p.Module, pos)
+	if !p.scopeFile(position.Filename) {
+		return
+	}
+	if allowedFile(p.Checker.ID, file) {
+		return
+	}
+	if lines := p.suppress[file]; lines[position.Line] {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Checker: p.Checker.ID,
+		Message: msg,
+		Fix:     fix,
+	})
+}
+
+// scopeFile reports whether the absolute filename belongs to a Scope
+// package.
+func (p *ModulePass) scopeFile(abs string) bool {
+	for _, pkg := range p.Scope {
+		for _, fn := range pkg.Filenames {
+			if fn == abs {
+				return true
 			}
 		}
 	}
-	return out
+	return false
+}
+
+// AnalyzeScope runs the given checkers (all of them when nil) over the
+// scope packages: local checkers per package, whole-program checkers
+// once with the scope as their reporting boundary. Returns sorted
+// findings.
+func AnalyzeScope(m *Module, scope []*Package, checkers []*Checker) []Finding {
+	if checkers == nil {
+		checkers = Checkers()
+	}
+	// Collect suppressions once per scope file, then slice per checker.
+	perFile := map[string]map[string]map[int]bool{}
+	for _, pkg := range scope {
+		for _, f := range pkg.Files {
+			rel := filepath.ToSlash(mustRel(m.Root, m.Fset.Position(f.Pos()).Filename))
+			perFile[rel] = suppressions(m.Fset, f)
+		}
+	}
+	sliceSup := func(id string) map[string]map[int]bool {
+		sup := map[string]map[int]bool{}
+		for file, byChecker := range perFile {
+			if lines := byChecker[id]; lines != nil {
+				sup[file] = lines
+			}
+		}
+		return sup
+	}
+
+	var findings []Finding
+	for _, c := range checkers {
+		if c.Global() {
+			inScope := make(map[*Package]bool, len(scope))
+			for _, pkg := range scope {
+				inScope[pkg] = true
+			}
+			p := &ModulePass{
+				Checker: c, Module: m, Scope: scope,
+				inScope: inScope, suppress: sliceSup(c.ID), findings: &findings,
+			}
+			c.RunModule(p)
+			continue
+		}
+		for _, pkg := range scope {
+			pass := &Pass{Checker: c, Module: m, Pkg: pkg, suppress: sliceSup(c.ID), findings: &findings}
+			c.Run(pass)
+		}
+	}
+	sortFindings(findings)
+	return findings
 }
 
 // AnalyzePackage runs the given checkers (all of them when nil) over one
 // package and returns sorted findings.
 func AnalyzePackage(m *Module, pkg *Package, checkers []*Checker) []Finding {
-	if checkers == nil {
-		checkers = Checkers()
-	}
-	// Collect suppressions once per file, then slice them per checker.
-	perFile := map[string]map[string]map[int]bool{}
-	for _, f := range pkg.Files {
-		rel := filepath.ToSlash(mustRel(m.Root, m.Fset.Position(f.Pos()).Filename))
-		perFile[rel] = suppressions(m.Fset, f)
-	}
-	var findings []Finding
-	for _, c := range checkers {
-		sup := map[string]map[int]bool{}
-		for file, byChecker := range perFile {
-			if lines := byChecker[c.ID]; lines != nil {
-				sup[file] = lines
-			}
-		}
-		pass := &Pass{Checker: c, Module: m, Pkg: pkg, suppress: sup, findings: &findings}
-		c.Run(pass)
-	}
-	sortFindings(findings)
-	return findings
+	return AnalyzeScope(m, []*Package{pkg}, checkers)
 }
 
 // AnalyzeModule loads the module rooted at root and runs the named
@@ -223,34 +316,104 @@ func AnalyzeModule(root string, names []string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, pkg := range m.Pkgs {
-		findings = append(findings, AnalyzePackage(m, pkg, checkers)...)
-	}
-	sortFindings(findings)
-	return findings, nil
+	return AnalyzeScope(m, m.Pkgs, checkers), nil
 }
 
 // AnalyzeFixtureDir analyzes the single package in dir (typically a
 // testdata fixture, which the module walk deliberately skips) against
 // the named checkers. root must be the surrounding module so the
-// fixture's module-internal imports resolve.
+// fixture's module-internal imports resolve. Pass a non-nil *Module to
+// reuse an already-loaded module (and its type-checked dependencies)
+// across several fixture dirs; pass nil to load a fresh one.
 func AnalyzeFixtureDir(root, dir string, names []string) ([]Finding, error) {
 	m, err := NewModule(root)
 	if err != nil {
 		return nil, err
 	}
+	return AnalyzeFixtureDirIn(m, dir, names)
+}
+
+// AnalyzeFixtureDirIn is AnalyzeFixtureDir against an existing module
+// loader, so a multi-fixture run type-checks each dependency package
+// exactly once (the caching importer is shared).
+func AnalyzeFixtureDirIn(m *Module, dir string, names []string) ([]Finding, error) {
 	checkers, err := resolveCheckers(names)
 	if err != nil {
 		return nil, err
 	}
-	pkg, err := m.LoadExtraDir(dir, "fixture")
+	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	findings := AnalyzePackage(m, pkg, checkers)
-	sortFindings(findings)
-	return findings, nil
+	// A unique synthetic import path per fixture dir: the loader caches
+	// by import path, and a shared module may host many fixtures.
+	ip := "fixture/" + filepath.ToSlash(mustRel(m.Root, abs))
+	pkg, err := m.LoadExtraDir(abs, ip)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeScope(m, []*Package{pkg}, checkers), nil
+}
+
+// AnalyzeFixtureTree analyzes every fixture package directly under dir
+// (or dir itself, when it holds Go files) against the named checkers.
+// All fixtures share one module loader, so each module-internal
+// dependency is parsed and type-checked exactly once for the whole
+// tree rather than once per fixture.
+func AnalyzeFixtureTree(root, dir string, names []string) ([]Finding, error) {
+	dirs, err := fixturePackageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewModule(root)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, d := range dirs {
+		fs, err := AnalyzeFixtureDirIn(m, d, names)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d, err)
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// fixturePackageDirs returns dir itself if it holds Go files, otherwise
+// its immediate subdirectories that do (sorted).
+func fixturePackageDirs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var subs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			subs = append(subs, filepath.Join(dir, e.Name()))
+		} else if strings.HasSuffix(e.Name(), ".go") {
+			return []string{dir}, nil
+		}
+	}
+	var dirs []string
+	for _, s := range subs {
+		sub, err := os.ReadDir(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range sub {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, s)
+				break
+			}
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no Go fixture packages under %s", dir)
+	}
+	return dirs, nil
 }
 
 func resolveCheckers(names []string) ([]*Checker, error) {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -111,6 +112,10 @@ func TestGoldenFindings(t *testing.T) {
 		"maporder":       "map-order",
 		"straygoroutine": "stray-goroutine",
 		"uncheckederror": "unchecked-error",
+		"snapshotdrift":  "snapshot-drift",
+		"faultsite":      "fault-site-registry",
+		"lanesafety":     "lane-safety",
+		"hotpathalloc":   "hotpath-alloc",
 	}
 	m := testModule(t)
 	for dir, checker := range fixtures {
@@ -140,6 +145,29 @@ func TestGoldenFindings(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDeliberateDrift plays out the scenario snapshot-drift exists for:
+// the driftdemo fixture copies a nex-style engine struct with one field
+// added after the encoder was written. The checker must name exactly
+// that field — not the transient scratch buffer, not the encoded state.
+func TestDeliberateDrift(t *testing.T) {
+	m := testModule(t)
+	fixDir := filepath.Join(m.Root, "internal/analysis/testdata/src/driftdemo")
+	pkg, err := m.LoadExtraDir(fixDir, "fixture/driftdemo")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	got := AnalyzePackage(m, pkg, []*Checker{checkerByID("snapshot-drift")})
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want exactly the drifted field: %v", len(got), got)
+	}
+	f := got[0]
+	if !strings.Contains(f.Message, "debugHits") || !strings.Contains(f.Message, "miniEngine") {
+		t.Errorf("finding does not name the drifted field: %s", f.Message)
+	}
+	want := expectedFindings(t, pkg.Filenames, m.Root)
+	diffSets(t, want, findingKeys(got))
 }
 
 // TestSuppression checks both //simlint:allow forms — trailing on the
@@ -244,17 +272,66 @@ func TestAllowlistScope(t *testing.T) {
 			t.Errorf("allowed(%s, %s) = %v, want %v", c.checker, c.file, got, c.allowed)
 		}
 	}
+
+	// Staleness check: every allowlist entry must still match at least
+	// one non-test Go file on the tree. A zero-match prefix is a rename
+	// or deletion that silently turned the exemption into dead config —
+	// and would silently re-exempt whatever lands at that path later.
+	root := filepath.Join("..", "..")
+	for id, prefixes := range defaultAllow {
+		for _, prefix := range prefixes {
+			if matchesAnyGoFile(t, root, prefix) {
+				continue
+			}
+			t.Errorf("%s: allowlist entry %q matches no non-test .go file; remove or update it", id, prefix)
+		}
+	}
 }
 
-// TestCheckerRegistry pins the suite composition: five uniquely named
+// matchesAnyGoFile reports whether an allowlist entry (a directory
+// prefix ending in "/", or an exact file path) matches at least one
+// non-test Go file under root.
+func matchesAnyGoFile(t *testing.T, root, prefix string) bool {
+	t.Helper()
+	if !strings.HasSuffix(prefix, "/") {
+		_, err := os.Stat(filepath.Join(root, filepath.FromSlash(prefix)))
+		return err == nil
+	}
+	dir := filepath.Join(root, filepath.FromSlash(prefix))
+	found := false
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || found {
+			return fs.SkipAll
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			found = true
+			return fs.SkipAll
+		}
+		return nil
+	})
+	return found
+}
+
+// TestCheckerRegistry pins the suite composition: nine uniquely named
 // checkers, resolvable by ID, with unknown names rejected.
 func TestCheckerRegistry(t *testing.T) {
 	cs := Checkers()
-	if len(cs) != 5 {
-		t.Fatalf("suite has %d checkers, want 5", len(cs))
+	wantIDs := []string{
+		"nondet-time", "nondet-rand", "map-order", "stray-goroutine",
+		"unchecked-error", "snapshot-drift", "fault-site-registry",
+		"lane-safety", "hotpath-alloc",
+	}
+	if len(cs) != len(wantIDs) {
+		t.Fatalf("suite has %d checkers, want %d", len(cs), len(wantIDs))
 	}
 	seen := map[string]bool{}
-	for _, c := range cs {
+	for i, c := range cs {
+		if c.ID != wantIDs[i] {
+			t.Errorf("checker[%d] = %q, want %q", i, c.ID, wantIDs[i])
+		}
+		if (c.Run == nil) == (c.RunModule == nil) {
+			t.Errorf("checker %q must have exactly one of Run/RunModule", c.ID)
+		}
 		if seen[c.ID] {
 			t.Errorf("duplicate checker ID %q", c.ID)
 		}

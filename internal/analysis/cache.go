@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The on-disk findings cache makes warm simlint runs cheap enough for a
+// pre-commit hook. Cold runs pay for parsing and type-checking the whole
+// module from source (the dominant cost by far); a warm run only hashes
+// file contents and parses import clauses, then replays stored findings.
+//
+// Keying follows the go build cache's action-ID scheme:
+//
+//	action(pkg)  = H(version ‖ import path ‖ file hashes ‖ dep actions)
+//	action(mod)  = H(version ‖ go.mod hash ‖ every package action)
+//
+// where version covers the cache schema and the resolved checker set
+// (running a different -c subset must not alias). File hashes include
+// _test.go files even though analysis never type-checks them: the
+// fault-site-registry checker greps the test corpus, so test edits must
+// invalidate the module entry (and, conservatively, the package entry).
+//
+// Per-package entries hold the local-checker findings of that package;
+// the module entry holds the whole-program checkers' findings. Any
+// missing entry demotes the run to cold — entries are written back
+// atomically (tmp + rename) so a crashed run never poisons the cache.
+
+// cacheSchema bumps whenever the finding encoding or checker semantics
+// change in a way stored entries cannot survive.
+const cacheSchema = "simlint-cache-v1"
+
+// Cache is a findings cache rooted at one directory.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// cacheEntry is one stored JSON entry.
+type cacheEntry struct {
+	Findings []Finding `json:"findings"`
+}
+
+func (c *Cache) path(kind, id string) string {
+	return filepath.Join(c.dir, kind+"-"+id+".json")
+}
+
+func (c *Cache) read(kind, id string) ([]Finding, bool) {
+	data, err := os.ReadFile(c.path(kind, id))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil {
+		return nil, false // corrupt entry: treat as miss, overwritten on store
+	}
+	return e.Findings, true
+}
+
+func (c *Cache) write(kind, id string, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	data, err := json.Marshal(cacheEntry{Findings: fs})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), c.path(kind, id))
+}
+
+// pkgAction is the cheap (no type-check) fingerprint of one package
+// directory.
+type pkgAction struct {
+	Dir        string // absolute directory
+	ImportPath string
+	actionID   string
+	deps       []string // module-internal import paths
+}
+
+// AnalyzeModuleCached is AnalyzeModule with an on-disk findings cache.
+// It returns the findings, whether the run was served warm (no
+// type-checking), and any error.
+func AnalyzeModuleCached(root string, names []string, cache *Cache) ([]Finding, bool, error) {
+	checkers, err := resolveCheckers(names)
+	if err != nil {
+		return nil, false, err
+	}
+	version := cacheVersionFor(checkers)
+
+	actions, modID, err := scanActions(root, version)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Warm path: every entry present → replay without loading anything.
+	if all, ok := tryWarm(cache, actions, modID); ok {
+		return all, true, nil
+	}
+
+	// Cold path: full load + analysis, then populate every entry.
+	m, err := LoadModule(root)
+	if err != nil {
+		return nil, false, err
+	}
+	findings := AnalyzeScope(m, m.Pkgs, checkers)
+	if err := storeRun(cache, actions, modID, findings, checkers); err != nil {
+		return nil, false, err
+	}
+	return findings, false, nil
+}
+
+// cacheVersionFor derives the version seed from the schema and the
+// resolved checker IDs (order-sensitive: it mirrors run order).
+func cacheVersionFor(checkers []*Checker) string {
+	ids := make([]string, len(checkers))
+	for i, c := range checkers {
+		ids[i] = c.ID
+	}
+	return cacheSchema + "/" + strings.Join(ids, ",")
+}
+
+// scanActions fingerprints every package directory of the module:
+// content hashes plus an ImportsOnly parse for dependency edges. No
+// type-checking happens here — this is the entire cost of a warm run.
+func scanActions(root, version string) (map[string]*pkgAction, string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, "", err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, "", err
+	}
+	gomodSum, err := fileHash(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, "", err
+	}
+
+	actions := map[string]*pkgAction{} // by import path
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		ip := modPath
+		if dir != root {
+			ip = modPath + "/" + filepath.ToSlash(mustRel(root, dir))
+		}
+		if _, ok := actions[ip]; !ok {
+			a, err := fingerprintDir(dir, ip, modPath)
+			if err != nil {
+				return err
+			}
+			actions[ip] = a
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	// Resolve action IDs bottom-up (imports are acyclic, so plain
+	// recursion with memoization terminates).
+	var resolve func(ip string, trail map[string]bool) (string, error)
+	resolve = func(ip string, trail map[string]bool) (string, error) {
+		a, ok := actions[ip]
+		if !ok {
+			// Import of a module path with no packages on disk (or one
+			// that lives under testdata); fold in the path itself.
+			return hashStrings("missing", ip), nil
+		}
+		if a.actionID != "" {
+			return a.actionID, nil
+		}
+		if trail[ip] {
+			return "", fmt.Errorf("import cycle through %s", ip)
+		}
+		trail[ip] = true
+		parts := []string{version, ip}
+		files, err := hashDirFiles(a.Dir)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, files...)
+		for _, dep := range a.deps {
+			id, err := resolve(dep, trail)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, id)
+		}
+		delete(trail, ip)
+		a.actionID = hashStrings(parts...)
+		return a.actionID, nil
+	}
+
+	paths := make([]string, 0, len(actions))
+	for ip := range actions {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	modParts := []string{version, gomodSum}
+	for _, ip := range paths {
+		id, err := resolve(ip, map[string]bool{})
+		if err != nil {
+			return nil, "", err
+		}
+		modParts = append(modParts, ip, id)
+	}
+	return actions, hashStrings(modParts...), nil
+}
+
+// fingerprintDir parses the package clause and imports of one directory.
+func fingerprintDir(dir, importPath, modPath string) (*pkgAction, error) {
+	a := &pkgAction{Dir: dir, ImportPath: importPath}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				a.deps = append(a.deps, p)
+			}
+		}
+	}
+	sort.Strings(a.deps)
+	return a, nil
+}
+
+// hashDirFiles hashes every Go file of a directory, including _test.go
+// files: the fault-site-registry checker reads the test corpus, so test
+// edits must invalidate.
+func hashDirFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var parts []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		h, err := fileHash(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, name, h)
+	}
+	return parts, nil
+}
+
+// tryWarm assembles the full finding set from cache entries; ok is false
+// on the first miss.
+func tryWarm(cache *Cache, actions map[string]*pkgAction, modID string) ([]Finding, bool) {
+	if cache == nil {
+		return nil, false
+	}
+	global, ok := cache.read("m", modID)
+	if !ok {
+		return nil, false
+	}
+	all := append([]Finding{}, global...)
+	paths := make([]string, 0, len(actions))
+	for ip := range actions {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		fs, ok := cache.read("p", actions[ip].actionID)
+		if !ok {
+			return nil, false
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, true
+}
+
+// storeRun partitions a cold run's findings into cache entries: local
+// findings by owning package, global findings into the module entry.
+func storeRun(cache *Cache, actions map[string]*pkgAction, modID string, findings []Finding, checkers []*Checker) error {
+	if cache == nil {
+		return nil
+	}
+	globalIDs := map[string]bool{}
+	for _, c := range checkers {
+		if c.Global() {
+			globalIDs[c.ID] = true
+		}
+	}
+	// Map a finding's file to its package by directory.
+	byDir := map[string]*pkgAction{}
+	for _, a := range actions {
+		byDir[filepath.ToSlash(a.Dir)] = a
+	}
+	root := byDirRoot(actions)
+	var global []Finding
+	perPkg := map[string][]Finding{}
+	for _, f := range findings {
+		if globalIDs[f.Checker] {
+			global = append(global, f)
+			continue
+		}
+		// f.File is module-relative; resolve its directory.
+		dir := filepath.ToSlash(filepath.Dir(filepath.Join(root, filepath.FromSlash(f.File))))
+		a, ok := byDir[dir]
+		if !ok {
+			// A local finding outside any fingerprinted package (should
+			// not happen); stash it with the globals so it survives.
+			global = append(global, f)
+			continue
+		}
+		perPkg[a.actionID] = append(perPkg[a.actionID], f)
+	}
+	for _, a := range actions {
+		if err := cache.write("p", a.actionID, perPkg[a.actionID]); err != nil {
+			return err
+		}
+	}
+	return cache.write("m", modID, global)
+}
+
+// byDirRoot recovers the module root from any action (all dirs share
+// it): ImportPath is modPath[/rel], so strip one path element per
+// segment of rel.
+func byDirRoot(actions map[string]*pkgAction) string {
+	for _, a := range actions {
+		dir := a.Dir
+		if i := strings.Index(a.ImportPath, "/"); i >= 0 {
+			for range strings.Split(a.ImportPath[i+1:], "/") {
+				dir = filepath.Dir(dir)
+			}
+		}
+		return dir
+	}
+	return ""
+}
+
+func fileHash(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func hashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTinyModule lays down a minimal module with one deliberate
+// nondet-time finding, returning its root.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tinymod\n\ngo 1.21\n",
+		"a.go": `package tinymod
+
+import "time"
+
+// Stamp has the one deliberate finding of this module.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"sub/b.go": `package sub
+
+// Twice exists so the module has a second package (its own cache entry).
+func Twice(x int) int { return 2 * x }
+`,
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func sameFindings(a, b []Finding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCacheWarmAndInvalidate exercises the full cache lifecycle: a cold
+// run populates it, an identical rerun is warm and byte-equal, an edit
+// invalidates exactly as content hashing dictates, and reverting the
+// edit is warm again (content addressing, not timestamps).
+func TestCacheWarmAndInvalidate(t *testing.T) {
+	root := writeTinyModule(t)
+	cache, err := OpenCache(filepath.Join(root, ".lintcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, warm, err := AnalyzeModuleCached(root, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("first run reported warm against an empty cache")
+	}
+	if len(cold) != 1 || cold[0].Checker != "nondet-time" {
+		t.Fatalf("cold run findings = %v, want one nondet-time finding", cold)
+	}
+
+	rerun, warm, err := AnalyzeModuleCached(root, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("identical rerun was not served warm")
+	}
+	if !sameFindings(cold, rerun) {
+		t.Fatalf("warm findings diverge from cold:\ncold: %v\nwarm: %v", cold, rerun)
+	}
+
+	// Edit: the finding goes away, and so must the warm hit.
+	aGo := filepath.Join(root, "a.go")
+	orig, err := os.ReadFile(aGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := `package tinymod
+
+// Stamp no longer reads the wall clock.
+func Stamp() int64 { return 42 }
+`
+	if err := os.WriteFile(aGo, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, warm, err := AnalyzeModuleCached(root, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("run after an edit was served warm (stale cache)")
+	}
+	if len(edited) != 0 {
+		t.Fatalf("edited module still has findings: %v", edited)
+	}
+
+	// Revert: the original entries are still in the cache, keyed by
+	// content — reverting must hit warm without re-analysis.
+	if err := os.WriteFile(aGo, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reverted, warm, err := AnalyzeModuleCached(root, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("reverted module was not served warm (cache should be content-addressed)")
+	}
+	if !sameFindings(cold, reverted) {
+		t.Fatalf("reverted warm findings diverge: %v vs %v", cold, reverted)
+	}
+}
+
+// TestCacheCheckerSetKeying asserts entries from a full run do not
+// answer for a restricted -c run (and vice versa): the checker set is
+// part of the action ID.
+func TestCacheCheckerSetKeying(t *testing.T) {
+	root := writeTinyModule(t)
+	cache, err := OpenCache(filepath.Join(root, ".lintcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, warm, err := AnalyzeModuleCached(root, nil, cache); err != nil || warm {
+		t.Fatalf("full cold run: warm=%v err=%v", warm, err)
+	}
+	fs, warm, err := AnalyzeModuleCached(root, []string{"map-order"}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("restricted checker set was served from the full run's entries")
+	}
+	if len(fs) != 0 {
+		t.Fatalf("map-order-only run has findings: %v", fs)
+	}
+	if _, warm, err := AnalyzeModuleCached(root, nil, cache); err != nil || !warm {
+		t.Fatalf("full rerun after restricted run: warm=%v err=%v (full entries should survive)", warm, err)
+	}
+}
+
+// TestCacheDepInvalidation asserts an edit in a dependency invalidates
+// its importers: action IDs chain through module-internal imports.
+func TestCacheDepInvalidation(t *testing.T) {
+	root := writeTinyModule(t)
+	// Make the root package import sub, so sub's hash feeds root's ID.
+	aGo := filepath.Join(root, "a.go")
+	importer := `package tinymod
+
+import (
+	"time"
+
+	"tinymod/sub"
+)
+
+// Stamp has the one deliberate finding of this module.
+func Stamp() int64 { return time.Now().UnixNano() * int64(sub.Twice(1)) }
+`
+	if err := os.WriteFile(aGo, []byte(importer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenCache(filepath.Join(root, ".lintcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, warm, err := AnalyzeModuleCached(root, nil, cache); err != nil || warm {
+		t.Fatalf("cold run: warm=%v err=%v", warm, err)
+	}
+	// A semantically neutral edit to the dependency must still demote
+	// the run to cold: the cache cannot know it was neutral.
+	bGo := filepath.Join(root, "sub", "b.go")
+	neutral := `package sub
+
+// Twice exists so the module has a second package (comment edited).
+func Twice(x int) int { return 2 * x }
+`
+	if err := os.WriteFile(bGo, []byte(neutral), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, warm, err := AnalyzeModuleCached(root, nil, cache); err != nil || warm {
+		t.Fatalf("run after dependency edit: warm=%v err=%v (importer entries must invalidate)", warm, err)
+	}
+}
+
+// BenchmarkFixtureTreeShared measures a full fixture-corpus run with the
+// hoisted shared module loader: every module-internal dependency is
+// type-checked once for the whole tree.
+func BenchmarkFixtureTreeShared(b *testing.B) {
+	root := moduleRootForBench(b)
+	dir := filepath.Join(root, "internal/analysis/testdata/src")
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeFixtureTree(root, dir, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFixtureTreePerDir is the pre-hoist baseline: a fresh module
+// loader (and a fresh type-check of every dependency) per fixture dir.
+func BenchmarkFixtureTreePerDir(b *testing.B) {
+	root := moduleRootForBench(b)
+	dirs, err := fixturePackageDirs(filepath.Join(root, "internal/analysis/testdata/src"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, d := range dirs {
+			if _, err := AnalyzeFixtureDir(root, d, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func moduleRootForBench(b *testing.B) string {
+	b.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := wd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			return root
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			b.Fatal("no go.mod above", wd)
+		}
+		root = parent
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suite understands three source directives, all parsed from
+// ordinary comments so they survive gofmt and need no build tags:
+//
+//	//simlint:allow <checker>[,<checker>...] [reason]
+//	    suppress findings of the named checkers on this line and the
+//	    next one (trailing on the offending line, or alone above it).
+//
+//	//simlint:transient [reason]
+//	    on a struct field (trailing, or the line above): the field is
+//	    deliberately absent from the type's checkpoint encoding because
+//	    it is scratch, derived, or regenerated on restore. Consumed by
+//	    the snapshot-drift checker.
+//
+//	//simlint:hotpath [reason]
+//	    on a function declaration (last doc-comment line, or the line
+//	    above): the function is a tuned allocation-free hot path; the
+//	    hotpath-alloc checker flags allocating constructs in its body.
+type fileDirectives struct {
+	allow     map[string]map[int]bool // checker ID -> covered lines
+	transient map[int]bool            // lines covered by //simlint:transient
+	hotpath   map[int]bool            // lines covered by //simlint:hotpath
+}
+
+// parseDirectives scans one file's comments for simlint directives.
+// Every directive covers its own line and the line below it, so both
+// the trailing-comment and line-above forms work.
+func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{
+		allow:     map[string]map[int]bool{},
+		transient: map[int]bool{},
+		hotpath:   map[int]bool{},
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//simlint:")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case strings.HasPrefix(text, "allow"):
+				fields := strings.Fields(strings.TrimPrefix(text, "allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				for _, id := range strings.Split(fields[0], ",") {
+					if d.allow[id] == nil {
+						d.allow[id] = map[int]bool{}
+					}
+					d.allow[id][line] = true
+					d.allow[id][line+1] = true
+				}
+			case strings.HasPrefix(text, "transient"):
+				d.transient[line] = true
+				d.transient[line+1] = true
+			case strings.HasPrefix(text, "hotpath"):
+				d.hotpath[line] = true
+				d.hotpath[line+1] = true
+			}
+		}
+	}
+	return d
+}
+
+// suppressions returns the //simlint:allow line sets of one file,
+// keyed by checker ID (the shape Pass.Report consumes).
+func suppressions(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
+	return parseDirectives(fset, f).allow
+}
+
+// hotpathFunc reports whether decl carries a //simlint:hotpath
+// directive: in its doc comment, or on the line above the declaration.
+func hotpathFunc(fset *token.FileSet, dirs *fileDirectives, decl *ast.FuncDecl) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if strings.HasPrefix(c.Text, "//simlint:hotpath") {
+				return true
+			}
+		}
+	}
+	return dirs.hotpath[fset.Position(decl.Pos()).Line]
+}
+
+// transientField reports whether the struct field at pos carries a
+// //simlint:transient directive (trailing or on the line above).
+func transientField(fset *token.FileSet, dirs *fileDirectives, field *ast.Field) bool {
+	if field.Doc != nil {
+		for _, c := range field.Doc.List {
+			if strings.HasPrefix(c.Text, "//simlint:transient") {
+				return true
+			}
+		}
+	}
+	if field.Comment != nil {
+		for _, c := range field.Comment.List {
+			if strings.HasPrefix(c.Text, "//simlint:transient") {
+				return true
+			}
+		}
+	}
+	return dirs.transient[fset.Position(field.Pos()).Line]
+}

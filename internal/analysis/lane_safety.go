@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// laneSafetyChecker guards the conservative-parallel contract
+// (DESIGN.md §10). When parsim.Crew lanes are running, each device
+// advances on its own goroutine and its banked state (registers, event
+// queue, statistics counters) is owned by the lane. Host code may only
+// observe a device through the accel.Device interface after the lane has
+// been joined; an unjoined read is a data race that the race detector
+// only catches if the interleaving cooperates, and worse, it can
+// silently de-determinize a run that the byte-identity tests then flag
+// hours of debugging later.
+//
+// The analysis is an interprocedural reaches-without-join walk over the
+// module call graph. Crew.Grant opens a lane window; Crew.Join, JoinAll,
+// and Shutdown close it. Observations are calls through the accel.Device
+// *interface* (RegRead, RegWrite, NextEvent, Stats) — concrete-receiver
+// calls are excluded on purpose: a device's own methods touching its own
+// state from inside its lane is the design working as intended. Advance
+// and Name are excluded: Advance is the lane entry point itself and Name
+// is immutable identity.
+//
+// Each function gets a memoized summary: whether it observes a device
+// before any closing call (assuming a window is open at entry), and its
+// net effect on the window at exit (open / close / neutral). The
+// per-function walk is linear in AST order with deferred calls at the
+// end — so `defer crew.Shutdown()` correctly closes the window before
+// any post-return observation by the caller.
+var laneSafetyChecker = &Checker{
+	ID:        "lane-safety",
+	Doc:       "device interface reads between Crew.Grant and Join/JoinAll race with the lane",
+	RunModule: runLaneSafety,
+}
+
+// window effect of a call, or of a whole function (its summary).
+type laneEffect int
+
+const (
+	laneNeutral laneEffect = iota // no grant/join activity
+	laneOpen                      // leaves a lane window open
+	laneClose                     // last effect closes the window
+)
+
+type laneSummary struct {
+	observes bool // observes a device before any closing call
+	end      laneEffect
+	done     bool // memo complete (false while on the walk stack: cycle guard)
+}
+
+type laneChecker struct {
+	p         *ModulePass
+	graph     *Graph
+	crew      *types.Named // parsim.Crew
+	device    *types.Named // accel.Device (interface)
+	summaries map[*types.Func]*laneSummary
+	dirs      map[*Package][]*fileDirectives // parsed lazily, aligned with Pkg.Files
+}
+
+func runLaneSafety(p *ModulePass) {
+	lc := &laneChecker{
+		p:         p,
+		graph:     p.Module.Graph(),
+		crew:      moduleNamedType(p.Module, "/internal/parsim", "Crew"),
+		device:    moduleNamedType(p.Module, "/internal/accel", "Device"),
+		summaries: map[*types.Func]*laneSummary{},
+		dirs:      map[*Package][]*fileDirectives{},
+	}
+	if lc.crew == nil || lc.device == nil {
+		return // module has no parallel lanes
+	}
+	for _, fi := range lc.graph.Funcs() {
+		if !p.InScope(fi.Pkg) {
+			continue
+		}
+		lc.checkFunc(fi)
+	}
+}
+
+// checkFunc walks one in-scope function body start-to-finish, reporting
+// device observations made while a lane window this function (or a
+// callee) opened is still open.
+func (lc *laneChecker) checkFunc(fi *FuncInfo) {
+	open := false
+	for _, cs := range fi.Calls {
+		switch lc.classify(cs.Callee) {
+		case callGrant:
+			open = true
+		case callJoin:
+			open = false
+		case callObserve:
+			if open {
+				lc.report(fi, cs, true)
+			}
+		case callOther:
+			sum := lc.summarize(cs.Callee)
+			if open && sum.observes {
+				lc.report(fi, cs, false)
+			}
+			switch sum.end {
+			case laneOpen:
+				open = true
+			case laneClose:
+				open = false
+			}
+		}
+	}
+}
+
+// summarize computes (and memoizes) a callee's lane summary. Functions
+// outside the loaded module, bodiless functions, and cycle back-edges
+// summarize as neutral and non-observing — the conservative direction
+// for a checker that must run clean on the real tree.
+func (lc *laneChecker) summarize(fn *types.Func) *laneSummary {
+	if fn == nil {
+		return &laneSummary{done: true}
+	}
+	if s, ok := lc.summaries[fn]; ok {
+		return s // done, or a cycle back-edge (zero value: neutral)
+	}
+	s := &laneSummary{}
+	lc.summaries[fn] = s
+	fi := lc.graph.Lookup(fn)
+	if fi == nil {
+		s.done = true
+		return s
+	}
+	closed := false // a closing call has happened since entry
+	for _, cs := range fi.Calls {
+		switch lc.classify(cs.Callee) {
+		case callGrant:
+			s.end = laneOpen
+			closed = false
+		case callJoin:
+			s.end = laneClose
+			closed = true
+		case callObserve:
+			// An observation the author annotated //simlint:allow
+			// lane-safety is declared race-free at its site (typically a
+			// crew==nil guard the linear walk cannot see); it must not
+			// taint callers' summaries either.
+			if !closed && !lc.allowedAt(fi, cs.Pos) {
+				s.observes = true
+			}
+		case callOther:
+			sub := lc.summarize(cs.Callee)
+			if !closed && sub.observes && !lc.allowedAt(fi, cs.Pos) {
+				s.observes = true
+			}
+			switch sub.end {
+			case laneOpen:
+				s.end = laneOpen
+				closed = false
+			case laneClose:
+				s.end = laneClose
+				closed = true
+			}
+		}
+	}
+	s.done = true
+	return s
+}
+
+type callKind int
+
+const (
+	callOther callKind = iota
+	callGrant
+	callJoin
+	callObserve
+)
+
+// classify buckets a callee: Crew window operations, Device interface
+// observations, or anything else.
+func (lc *laneChecker) classify(fn *types.Func) callKind {
+	if fn == nil {
+		return callOther
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return callOther
+	}
+	recv := sig.Recv().Type()
+	if named, ok := derefNamed(recv); ok && named.Obj() == lc.crew.Obj() {
+		switch fn.Name() {
+		case "Grant":
+			return callGrant
+		case "Join", "JoinAll", "Shutdown":
+			return callJoin
+		}
+		return callOther
+	}
+	// Interface dispatch through accel.Device: the method object's
+	// receiver is the interface type itself.
+	if iface, ok := recv.Underlying().(*types.Interface); ok {
+		if devIface, ok := lc.device.Underlying().(*types.Interface); ok && types.Identical(iface, devIface) {
+			switch fn.Name() {
+			case "RegRead", "RegWrite", "NextEvent", "Stats":
+				return callObserve
+			}
+		}
+	}
+	return callOther
+}
+
+func (lc *laneChecker) report(fi *FuncInfo, cs CallSite, direct bool) {
+	what := "a device observation"
+	if cs.Callee != nil {
+		if direct {
+			what = "Device." + cs.Callee.Name()
+		} else {
+			what = fmt.Sprintf("call to %s (which observes a device before any join)", cs.Callee.Name())
+		}
+	}
+	lc.p.Report(cs.Pos,
+		fmt.Sprintf("%s reached in %s while a parsim lane window is open (no Join/JoinAll since Grant); races with the lane goroutine",
+			what, fi.Obj.Name()),
+		"join the lane first (Crew.Join/JoinAll), or annotate //simlint:allow lane-safety with why no crew can be live here")
+}
+
+// allowedAt reports whether the line holding pos (in fi's package)
+// carries a //simlint:allow lane-safety directive.
+func (lc *laneChecker) allowedAt(fi *FuncInfo, pos token.Pos) bool {
+	pkg := fi.Pkg
+	dirs, ok := lc.dirs[pkg]
+	if !ok {
+		dirs = make([]*fileDirectives, len(pkg.Files))
+		for i, f := range pkg.Files {
+			dirs[i] = parseDirectives(lc.p.Module.Fset, f)
+		}
+		lc.dirs[pkg] = dirs
+	}
+	for i, f := range pkg.Files {
+		if pos >= f.FileStart && pos < f.FileEnd {
+			line := lc.p.Module.Fset.Position(pos).Line
+			return dirs[i].allow["lane-safety"][line]
+		}
+	}
+	return false
+}
+
+// moduleNamedType resolves a named type declared in a module-internal
+// package, or nil when the package is not loaded or lacks the name.
+func moduleNamedType(m *Module, pkgSuffix, name string) *types.Named {
+	pkg := m.PackageByPath(m.Path + pkgSuffix)
+	if pkg == nil {
+		// Fixture modules may place it elsewhere; search loaded packages
+		// whose path ends with the suffix.
+		for _, p := range m.AllLoaded() {
+			if strings.HasSuffix(p.ImportPath, pkgSuffix) {
+				pkg = p
+				break
+			}
+		}
+		if pkg == nil {
+			return nil
+		}
+	}
+	tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}

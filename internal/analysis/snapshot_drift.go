@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// snapshotDriftChecker enforces the checkpoint/fork subsystem's central
+// contract (DESIGN.md §7): a snapshot blob is a pure function of the
+// logical engine state. The classic way that contract rots is adding a
+// field to an engine struct and forgetting its encoder line — the blob
+// still decodes, the byte-identity tests only catch it if the new field
+// actually diverges inside the tested prefix window, and the bug
+// surfaces weeks later as an unexplainable fork mismatch.
+//
+// The rule: every field of a struct that declares a checkpoint encoder
+// method (any method taking a *checkpoint.Encoder) must either be
+// referenced somewhere in that method's transitive call closure — i.e.
+// it plausibly feeds the encoding — or carry an explicit
+// //simlint:transient annotation stating why it is scratch, derived, or
+// regenerated on restore (journal replay, Seal, pool refill).
+//
+// "Referenced in the closure" is a deliberate over-approximation: a
+// field read for an unrelated purpose inside a helper also counts. That
+// direction of error is safe — the checker stays quiet — and keeps it
+// free of false positives on encoder methods that stage state through
+// locals before writing.
+var snapshotDriftChecker = &Checker{
+	ID:        "snapshot-drift",
+	Doc:       "struct fields missing from a checkpoint encoder method and not //simlint:transient",
+	RunModule: runSnapshotDrift,
+}
+
+func runSnapshotDrift(p *ModulePass) {
+	encType := checkpointEncoderType(p.Module)
+	if encType == nil {
+		return // module does not use internal/checkpoint
+	}
+	graph := p.Module.Graph()
+	for _, pkg := range p.Scope {
+		for _, f := range pkg.Files {
+			dirs := parseDirectives(p.Module.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					return true
+				}
+				enc := encoderMethod(named, encType)
+				if enc == nil {
+					return true
+				}
+				covered := coveredFields(graph, enc, named)
+				checkStructFields(p, pkg, dirs, st, named, enc, covered)
+				return true
+			})
+		}
+	}
+}
+
+// checkpointEncoderType resolves the *types.Named for checkpoint.Encoder
+// if the module's checkpoint package has been loaded.
+func checkpointEncoderType(m *Module) *types.Named {
+	pkg := m.PackageByPath(m.Path + "/internal/checkpoint")
+	if pkg == nil {
+		return nil
+	}
+	obj, ok := pkg.Types.Scope().Lookup("Encoder").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// encoderMethod returns the first method declared on named (value or
+// pointer receiver) that takes a *checkpoint.Encoder parameter, or nil.
+func encoderMethod(named *types.Named, encType *types.Named) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		sig, ok := m.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for j := 0; j < sig.Params().Len(); j++ {
+			ptr, ok := sig.Params().At(j).Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			if types.Identical(ptr.Elem(), encType) {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// coveredFields walks the transitive call closure of the encoder method
+// and collects every field of the receiver struct referenced anywhere in
+// it (selector expressions resolving to the field object).
+func coveredFields(graph *Graph, enc *types.Func, named *types.Named) map[*types.Var]bool {
+	fieldSet := map[*types.Var]bool{}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			fieldSet[st.Field(i)] = true
+		}
+	}
+	covered := map[*types.Var]bool{}
+	visited := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || visited[fn] {
+			return
+		}
+		visited[fn] = true
+		fi := graph.Lookup(fn)
+		if fi == nil {
+			return
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := fi.Pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() && fieldSet[v] {
+				covered[v] = true
+			}
+			return true
+		})
+		for _, cs := range fi.Calls {
+			visit(cs.Callee)
+		}
+	}
+	visit(enc)
+	return covered
+}
+
+// checkStructFields reports every field of the struct that is neither
+// covered by the encoder closure nor annotated //simlint:transient.
+func checkStructFields(p *ModulePass, pkg *Package, dirs *fileDirectives,
+	st *ast.StructType, named *types.Named, enc *types.Func, covered map[*types.Var]bool) {
+	for _, field := range st.Fields.List {
+		if transientField(p.Module.Fset, dirs, field) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: its object is keyed by the type expression.
+			if v := embeddedFieldVar(named, field); v != nil && !covered[v] {
+				p.Report(field.Pos(),
+					fmt.Sprintf("embedded field %s of %s is not referenced by (%s).%s; a restored %s will silently drift",
+						v.Name(), named.Obj().Name(), named.Obj().Name(), enc.Name(), named.Obj().Name()),
+					"encode the field (or its owner's section), or annotate //simlint:transient with the regeneration story")
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok || covered[v] {
+				continue
+			}
+			p.Report(name.Pos(),
+				fmt.Sprintf("field %s of %s is not referenced by (%s).%s; a restored %s will silently drift",
+					v.Name(), named.Obj().Name(), named.Obj().Name(), enc.Name(), named.Obj().Name()),
+				"encode the field, or annotate //simlint:transient with the regeneration story (replay, Seal, pool)")
+		}
+	}
+}
+
+// embeddedFieldVar resolves the field object of an embedded struct
+// field by position (embedded fields have no name identifier for
+// Info.Defs to key on).
+func embeddedFieldVar(named *types.Named, field *ast.Field) *types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		v := st.Field(i)
+		if v.Embedded() && v.Pos() >= field.Pos() && v.Pos() <= field.End() {
+			return v
+		}
+	}
+	return nil
+}

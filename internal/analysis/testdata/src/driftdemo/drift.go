@@ -1,0 +1,21 @@
+// Package fixture demonstrates the exact failure mode snapshot-drift
+// exists for: a miniature copy of a nex-style engine whose encoder was
+// written first, with one field (debugHits) added later and forgotten.
+// TestDeliberateDrift asserts the checker names precisely that field.
+package fixture
+
+import "nexsim/internal/checkpoint"
+
+type miniEngine struct {
+	now       uint64
+	inactiveN uint32
+	calBias   float64
+	debugHits int64 // WANT snapshot-drift
+	scratch   []int //simlint:transient per-epoch runnable buffer, rebuilt each loop
+}
+
+func (e *miniEngine) encodeState(enc *checkpoint.Encoder) {
+	enc.U64(e.now)
+	enc.U32(e.inactiveN)
+	enc.F64(e.calBias)
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import "nexsim/internal/faults"
+
+// Cross hits a typo'd site (never fires, never fails) and a runtime
+// string (unverifiable at compile time).
+func Cross(in *faults.Injector, site string) {
+	in.Hit("devce.dispatch") // WANT fault-site-registry
+	in.Hit(site)             // WANT fault-site-registry
+}
+
+// Plan schedules a fault against an unregistered site name.
+func Plan() []faults.Fault {
+	return []faults.Fault{
+		{Site: "nope.site"}, // WANT fault-site-registry
+	}
+}

@@ -1,0 +1,33 @@
+package fixture
+
+type span struct {
+	a, b int
+}
+
+type ring struct {
+	buf []span
+	n   int
+}
+
+// push is hot but allocation-free: value struct literal, append to a
+// field buffer (its amortization is the owner's story, not this
+// function's), index and len operations only.
+//
+//simlint:hotpath fixture: flat per-event cost
+func (r *ring) push(a, b int) {
+	s := span{a: a, b: b}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	}
+	r.n++
+}
+
+// Cold allocates freely: without the //simlint:hotpath annotation none
+// of this is the checker's business.
+func Cold(n int) []int {
+	out := make([]int, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

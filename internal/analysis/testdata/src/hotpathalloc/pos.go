@@ -1,0 +1,31 @@
+package fixture
+
+import "fmt"
+
+type pair struct {
+	a, b int
+}
+
+// Fire is the fake inner loop: every allocating construct the checker
+// knows about, plus the shapes it must leave alone (value struct
+// literal, append to a capacity-presized local).
+//
+//simlint:hotpath fixture: pretend per-event cost matters here
+func Fire(n int, sink func(string)) int {
+	xs := []int{1, 2, 3}   // WANT hotpath-alloc
+	seen := map[int]bool{} // WANT hotpath-alloc
+	p := &pair{a: n}       // WANT hotpath-alloc
+	buf := make([]byte, n) // WANT hotpath-alloc
+	var out []int
+	out = append(out, n)         // WANT hotpath-alloc
+	s := fmt.Sprintf("%d", n)    // WANT hotpath-alloc
+	f := func() int { return n } // WANT hotpath-alloc
+	sink(s)
+
+	scratch := make([]int, 0, 8) // WANT hotpath-alloc
+	scratch = append(scratch, n) // no finding: capacity pre-sized above
+
+	v := pair{a: n, b: n} // no finding: value struct literals are stack values
+	seen[v.a] = true
+	return xs[0] + len(buf) + out[0] + p.b + f() + scratch[0]
+}

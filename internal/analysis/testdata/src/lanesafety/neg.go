@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"nexsim/internal/accel"
+	"nexsim/internal/parsim"
+	"nexsim/internal/vclock"
+)
+
+// Guarded joins the lane before reading: the contract holding.
+func Guarded(c *parsim.Crew, d accel.Device, t vclock.Time) uint32 {
+	c.Grant(0, t)
+	c.Join(0)
+	return d.RegRead(t, 0)
+}
+
+// DeferClose: the deferred Shutdown runs after the body, but the
+// explicit JoinAll already closed the window before the read.
+func DeferClose(c *parsim.Crew, d accel.Device, t vclock.Time) uint32 {
+	defer c.Shutdown()
+	c.Grant(0, t)
+	c.JoinAll()
+	return d.RegRead(t, 0)
+}
+
+// gatedPeek's observation is declared race-free at its site, so it does
+// not taint callers' summaries (the allow is load-bearing: remove it and
+// ViaAllowed fires).
+func gatedPeek(d accel.Device, t vclock.Time) uint32 {
+	return d.RegRead(t, 0) //simlint:allow lane-safety fixture: caller guarantees the device is off-lane
+}
+
+// ViaAllowed stays clean because the observation it reaches is allowed
+// at its source.
+func ViaAllowed(c *parsim.Crew, d accel.Device, t vclock.Time) uint32 {
+	c.Grant(0, t)
+	v := gatedPeek(d, t)
+	c.JoinAll()
+	return v
+}
+
+// NoCrew never grants, so interface reads are plain single-threaded
+// calls.
+func NoCrew(d accel.Device, t vclock.Time) uint32 {
+	return d.RegRead(t, 0)
+}

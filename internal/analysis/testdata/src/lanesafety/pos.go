@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"nexsim/internal/accel"
+	"nexsim/internal/parsim"
+	"nexsim/internal/vclock"
+)
+
+// Direct observes the device while the lane it granted still runs.
+func Direct(c *parsim.Crew, d accel.Device, t vclock.Time) uint32 {
+	c.Grant(0, t)
+	v := d.RegRead(t, 0) // WANT lane-safety
+	c.Join(0)
+	return v
+}
+
+// Indirect hides the observation one call down; the callee summary
+// carries it back to the open window here.
+func Indirect(c *parsim.Crew, d accel.Device, t vclock.Time) {
+	c.Grant(0, t)
+	peek(d) // WANT lane-safety
+	c.JoinAll()
+}
+
+func peek(d accel.Device) {
+	_, _ = d.NextEvent()
+}
+
+// AfterHelper calls a helper whose summary ends with the window open, so
+// the observation after it races even though no Grant appears here.
+func AfterHelper(c *parsim.Crew, d accel.Device, t vclock.Time) accel.DeviceStats {
+	openLane(c, t)
+	st := d.Stats() // WANT lane-safety
+	c.JoinAll()
+	return st
+}
+
+func openLane(c *parsim.Crew, t vclock.Time) {
+	c.Grant(0, t)
+}

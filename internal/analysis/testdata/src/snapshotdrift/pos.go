@@ -1,0 +1,37 @@
+package fixture
+
+import "nexsim/internal/checkpoint"
+
+// Engine mimics an engine with a checkpoint encoder that covers some
+// fields directly, one through a helper, and forgot one.
+type Engine struct {
+	ticks   uint64
+	acc     int64
+	budget  int64  // WANT snapshot-drift
+	scratch []byte //simlint:transient refilled by the pool on restore
+}
+
+func (e *Engine) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64(e.ticks)
+	e.encodeAcc(enc)
+}
+
+// encodeAcc covers acc one call down: the checker walks the encoder's
+// transitive closure, not just its own body.
+func (e *Engine) encodeAcc(enc *checkpoint.Encoder) {
+	enc.I64(e.acc)
+}
+
+type base struct {
+	id uint32
+}
+
+// Wide embeds base but its encoder never touches it.
+type Wide struct {
+	base // WANT snapshot-drift
+	n    uint64
+}
+
+func (w *Wide) Save(enc *checkpoint.Encoder) {
+	enc.U64(w.n)
+}

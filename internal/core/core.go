@@ -436,7 +436,10 @@ func (s *System) TryRun(prog app.Program) (Result, error) {
 			s.cfg.Host, s.cfg.Accel, r.SimTime, ErrBudgetExceeded)
 	}
 	for _, d := range s.binds {
-		r.Devices = append(r.Devices, d.Stats())
+		// Every runRef closure runs its engine's Run, which defers
+		// stopCrew: by the time it returns, all lanes are joined and
+		// shut down.
+		r.Devices = append(r.Devices, d.Stats()) //simlint:allow lane-safety runRef engines stop their crew before returning
 	}
 	return r, nil
 }

@@ -91,6 +91,8 @@ func (q *Queue) NextTime() (vclock.Time, bool) {
 
 // Step dispatches the single earliest event, advancing Now to its time.
 // It reports whether an event was dispatched.
+//
+//simlint:hotpath one call per simulation event
 func (q *Queue) Step() bool {
 	q.dropCancelled()
 	if len(q.h) == 0 {

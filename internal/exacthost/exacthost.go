@@ -596,7 +596,9 @@ func (e *Engine) loop() {
 		}
 		tNext, okT := e.evq.NextTime()
 		if e.crew == nil {
-			dNext, okD := e.minDeviceNext()
+			// Serial mode: no lanes exist, so unjoined device reads are
+			// single-threaded by construction.
+			dNext, okD := e.minDeviceNext() //simlint:allow lane-safety crew==nil in this branch
 			if okD && (!okT || dNext < tNext) {
 				e.advanceDevices(dNext)
 				continue

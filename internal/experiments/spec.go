@@ -234,7 +234,10 @@ func faultPlan(n Spec) []faults.Fault {
 	plan := make([]faults.Fault, len(n.Faults))
 	for i, f := range n.Faults {
 		op, _ := faults.ParseOp(f.Op) // validated by Normalized
-		plan[i] = faults.Fault{Site: f.Site, Op: op, Hit: f.Hit,
+		// f.Site comes off the wire, so it cannot be a constant; it was
+		// checked against faults.KnownSite by Normalized.
+		plan[i] = faults.Fault{Site: f.Site, //simlint:allow fault-site-registry Site validated by Normalized
+			Op: op, Hit: f.Hit,
 			Attempts: f.Attempts, Rate: f.Rate, Delay: f.DelayPS}
 	}
 	return plan

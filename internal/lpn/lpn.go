@@ -246,17 +246,19 @@ type Net struct {
 	transitions []*Transition
 	now         vclock.Time
 
-	// Incremental scheduler state (built by Seal).
-	sealed  bool
-	state   []transState
-	heap    []int32 // enabled transitions, min-keyed by (at, idx)
-	dirty   []int32 // transitions whose cached ready time is stale
-	guarded []int32 // transitions with guards: re-examined every firing
+	// Incremental scheduler state (built by Seal). RestoreFrom unseals
+	// the net and the next engine call rebuilds all of it from the
+	// restored marking, so none of it is snapshot state.
+	sealed  bool         //simlint:transient rebuilt: RestoreFrom unseals, next call re-Seals
+	state   []transState //simlint:transient derived from marking by Seal
+	heap    []int32      //simlint:transient enabled transitions min-keyed by (at, idx); derived by Seal
+	dirty   []int32      //simlint:transient stale-ready worklist; derived by Seal
+	guarded []int32      //simlint:transient guard re-check list; derived by Seal
 
 	// Reusable firing scratch for guard probes and firings.
-	inFire      bool
-	scratch     Firing
-	scratchBufs [][]Token
+	inFire      bool      //simlint:transient only set inside one fire() call
+	scratch     Firing    //simlint:transient per-firing scratch, dead between firings
+	scratchBufs [][]Token //simlint:transient pooled buffers, contents dead between firings
 }
 
 // New returns an empty net.
@@ -461,6 +463,8 @@ func (n *Net) NextEvent() (vclock.Time, bool) {
 // fire at or before `until`, then sets the net's clock to `until`. It
 // returns the number of firings. External injections (DMA completions)
 // between Advance calls can re-enable transitions.
+//
+//simlint:hotpath the per-work-item engine entry; cost scales with firings
 func (n *Net) Advance(until vclock.Time) int {
 	n.ensureSealed()
 	fired := 0
@@ -486,12 +490,16 @@ func (n *Net) Advance(until vclock.Time) int {
 // peeking them for a guard probe otherwise. Re-entrant engine calls (an
 // effect advancing the net again) fall back to a fresh allocation so the
 // in-flight scratch is left alone.
+//
+//simlint:hotpath runs for every guard probe and firing; scratch reuse is the point
 func (n *Net) fillFiring(tr *Transition, at vclock.Time, consume bool) *Firing {
 	nIn := len(tr.In)
 	if n.inFire {
-		f := &Firing{Time: at, In: make([][]Token, nIn)}
+		// Re-entrant path: rare by construction (only effects that
+		// advance the net again), so a fresh context is fine.
+		f := &Firing{Time: at, In: make([][]Token, nIn)} //simlint:allow hotpath-alloc re-entrant fallback, not the steady state
 		for i, a := range tr.In {
-			buf := make([]Token, a.weight())
+			buf := make([]Token, a.weight()) //simlint:allow hotpath-alloc re-entrant fallback, not the steady state
 			fillArc(a.Place, buf, consume)
 			f.In[i] = buf
 		}
@@ -500,17 +508,17 @@ func (n *Net) fillFiring(tr *Transition, at vclock.Time, consume bool) *Firing {
 	f := &n.scratch
 	f.Time = at
 	if cap(f.In) < nIn {
-		f.In = make([][]Token, nIn)
+		f.In = make([][]Token, nIn) //simlint:allow hotpath-alloc grows to the widest transition once, then reused
 	}
 	for len(n.scratchBufs) < nIn {
-		n.scratchBufs = append(n.scratchBufs, nil)
+		n.scratchBufs = append(n.scratchBufs, nil) //simlint:allow hotpath-alloc grows to the widest transition once, then reused
 	}
 	f.In = f.In[:nIn]
 	for i, a := range tr.In {
 		w := a.weight()
 		buf := n.scratchBufs[i]
 		if cap(buf) < w {
-			buf = make([]Token, w)
+			buf = make([]Token, w) //simlint:allow hotpath-alloc grows to the widest arc once, then reused
 		}
 		buf = buf[:w]
 		fillArc(a.Place, buf, consume)
@@ -530,6 +538,7 @@ func fillArc(p *Place, buf []Token, consume bool) {
 	}
 }
 
+//simlint:hotpath fires once per work item per stage; Token values stay on the stack
 func (n *Net) fire(tr *Transition, at vclock.Time) {
 	if at > n.now {
 		n.now = at

@@ -163,6 +163,8 @@ func (e *Engine) endEpoch(selected []*coro.Thread, start, end vclock.Time) {
 // minWake returns the earliest wake time among live threads. The value
 // is cached across epochs (setWake maintains it), so the scan over the
 // active list only happens after the minimum-holding thread moved later.
+//
+//simlint:hotpath queried twice per epoch; the cache keeps it O(1)
 func (e *Engine) minWake() vclock.Time {
 	if !e.wakeValid {
 		min := vclock.Never

@@ -198,8 +198,8 @@ func (s Stats) ModeledWall(epoch vclock.Duration) vclock.Duration {
 // Engine is one NEX orchestrator instance.
 type Engine struct {
 	cfg     Config
-	mem     *mem.Memory
-	devices []*DeviceBinding
+	mem     *mem.Memory      //simlint:transient wiring; memory content is checkpointed by core.System
+	devices []*DeviceBinding //simlint:transient wiring; each device snapshots its own section
 	devTime vclock.Time
 
 	threads []*coro.Thread
@@ -215,45 +215,45 @@ type Engine struct {
 	// parked), in creation order. Entries go stale in place when a thread
 	// parks or exits and are swept out once they outnumber the live ones
 	// (amortized O(1)); unparking re-inserts compacted-out threads by ID.
-	active    []*coro.Thread
-	inactiveN int // stale entries currently in active
+	active    []*coro.Thread //simlint:transient cache over threads; rebuilt as replay re-creates them
+	inactiveN int            //simlint:transient stale-entry count for the active cache
 	// wakeMin caches minWake; it is invalidated only when the thread
 	// holding the minimum moves its wake time up.
-	wakeMin   vclock.Time
-	wakeValid bool
+	wakeMin   vclock.Time //simlint:transient memo of minWake; recomputed on demand
+	wakeValid bool        //simlint:transient validity bit of the wakeMin memo
 	// runnableBuf is runnableAt's reusable scratch slice; its contents
 	// are only live until the next epoch's scan.
-	runnableBuf []*coro.Thread
+	runnableBuf []*coro.Thread //simlint:transient per-epoch scratch, dead between epochs
 
 	now      vclock.Time // current epoch start
 	truncate bool        // a SlipStream exit requested epoch truncation
 	finishT  vclock.Time // virtual time of the last thread activity
 	nextSync vclock.Time // next hybrid periodic synchronization boundary
 	epochIdx int64
-	calBias  float64
-	interfer float64 // underprovisioning interference factor
-	rng      *xrand.Stream
+	calBias  float64       //simlint:transient derived from cfg.Seed and CalSigma in New
+	interfer float64       //simlint:transient derived from cfg in New (underprovisioning factor)
+	rng      *xrand.Stream //simlint:transient re-seeded from cfg.Seed; journal replay re-walks the stream
 
 	// Checkpoint machinery (snapshot.go). While recording, every thread
 	// yield is journaled so a fresh engine can replay the prefix; while
 	// haltArmed, the first device-bound request freezes the engine
 	// mid-epoch into frame instead of being processed.
-	recording bool
-	haltArmed bool
+	recording bool //simlint:transient snapshot-machinery mode flag, set by RunPrefix itself
+	haltArmed bool //simlint:transient snapshot-machinery mode flag, set by RunPrefix itself
 	journal   []journalEntry
 	frame     *haltFrame
 
 	// Watchdog budget state: loopTicks counts loop iterations (for the
 	// amortized wall check), wallStart anchors MaxWall, exceeded latches
 	// a budget abort.
-	loopTicks int64
-	wallStart time.Time
-	exceeded  bool
+	loopTicks int64     //simlint:transient watchdog bookkeeping, never simulation state
+	wallStart time.Time //simlint:transient watchdog wall anchor, never simulation state
+	exceeded  bool      //simlint:transient watchdog latch, never simulation state
 
 	// Parallel intra-run state (nil/zero when serial).
-	crew     *parsim.Crew
-	devWall  time.Duration
-	ranLanes int
+	crew     *parsim.Crew  //simlint:transient per-run lanes; Run builds and shuts them down
+	devWall  time.Duration //simlint:transient wall-time attribution of the last run
+	ranLanes int           //simlint:transient lane count of the last run
 
 	Stats Stats
 }
@@ -501,6 +501,8 @@ func (e *Engine) newThread(name string, fn app.ThreadFunc) *coro.Thread {
 
 // setWake is the single mutation point for a thread's wake time; it
 // maintains the cached minimum so minWake rarely rescans.
+//
+//simlint:hotpath runs on every thread yield and wake
 func (e *Engine) setWake(s *tstate, t vclock.Time) {
 	old := s.wakeAt
 	if t == old {

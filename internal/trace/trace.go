@@ -70,12 +70,14 @@ type Recorder struct {
 func New() *Recorder { return &Recorder{} }
 
 // Add records a span. No-op on a nil recorder or an empty interval.
+//
+//simlint:hotpath one call per traced engine event on recording runs
 func (r *Recorder) Add(s Span) {
 	if r == nil || s.End <= s.Start {
 		return
 	}
 	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == chunkSize {
-		r.chunks = append(r.chunks, make([]Span, 0, chunkSize))
+		r.chunks = append(r.chunks, make([]Span, 0, chunkSize)) //simlint:allow hotpath-alloc one chunk per 1024 spans, amortized by design
 	}
 	last := len(r.chunks) - 1
 	r.chunks[last] = append(r.chunks[last], s)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# lint_cache_smoke.sh — the simlint findings-cache gate (DESIGN.md
+# §5.5). Populates a fresh cache with a cold run, replays it warm, and
+# asserts (a) the warm run actually served from cache, (b) both runs
+# report identical findings, and (c) the warm run is at least 3x faster
+# than the cold one — the whole point of the cache is that a warm lint
+# is cheap enough for a pre-commit hook, so a regression that quietly
+# re-type-checks the module on every run must fail loudly here.
+set -eu
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Compile once so both timings measure analysis, not `go run` overhead.
+go build -o "$tmp/simlint" ./cmd/simlint
+
+now_ns() { date +%s%N; }
+
+start=$(now_ns)
+"$tmp/simlint" -json -cache-dir "$tmp/cache" >"$tmp/cold.json"
+cold=$(( $(now_ns) - start ))
+
+start=$(now_ns)
+"$tmp/simlint" -json -cache-dir "$tmp/cache" >"$tmp/warm.json" 2>"$tmp/warm.err"
+warm=$(( $(now_ns) - start ))
+
+grep -q "warm cache" "$tmp/warm.err" || {
+    echo "lint_cache_smoke: second run did not hit the cache" >&2
+    exit 1
+}
+cmp "$tmp/cold.json" "$tmp/warm.json" || {
+    echo "lint_cache_smoke: warm findings differ from cold findings" >&2
+    exit 1
+}
+if [ $(( warm * 3 )) -gt "$cold" ]; then
+    echo "lint_cache_smoke: warm run not >=3x faster (cold=${cold}ns warm=${warm}ns)" >&2
+    exit 1
+fi
+echo "lint cache ok: cold=${cold}ns warm=${warm}ns"
