@@ -28,6 +28,15 @@ serve-smoke:
 crash-smoke:
 	sh scripts/crash_smoke.sh
 
+# Cluster smoke test: three simd shards behind simrouter on real
+# sockets. A routed sweep must be byte-identical to single-node simd,
+# a second pass must be all cache hits, a shard killed with SIGKILL
+# mid-batch must not lose the batch (hedged failover, zero determinism
+# probe mismatches), and the restarted shard must be re-admitted.
+# check.sh runs this too.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # Chaos gate: the deterministic fault matrix (every injection site ×
 # {fail, delay} under fixed seeds), the budget watchdog tests (abort
 # without goroutine leaks), and the simserve self-healing tests (retry,
@@ -41,13 +50,13 @@ chaos:
 # channel) at a stable sampling time, a smoke pass over every other
 # registered benchmark, then the full paper experiment run with a JSON
 # report. BENCH_pr3.json is committed as the perf baseline for the
-# incremental enabled-set engine; BENCH_pr8.json is the current
+# incremental enabled-set engine; BENCH_pr10.json is the current
 # wall-time baseline, recorded at -intra 4 (GOMAXPROCS pinned so the
 # stepper lanes are real on single-core CI) and consumed by bench-gate.
 bench:
 	go test -run xxx -bench . -benchtime 100ms ./internal/lpn/ ./internal/simbricks/
 	go test -run xxx -bench . -benchtime 1x ./...
-	GOMAXPROCS=4 go run ./cmd/paperbench -exp all -parallel 1 -intra 4 -checkpoints -json BENCH_pr8.json
+	GOMAXPROCS=4 go run ./cmd/paperbench -exp all -parallel 1 -intra 4 -checkpoints -json BENCH_pr10.json
 
 # Wall-time regression gate against the committed benchmark baseline:
 # re-runs every table in BENCH_pr8.json and fails on any >1.5x slowdown
@@ -61,4 +70,4 @@ bench-gate:
 intra-smoke:
 	sh scripts/intra_smoke.sh
 
-.PHONY: lint check bench bench-gate intra-smoke serve-smoke crash-smoke chaos
+.PHONY: lint check bench bench-gate intra-smoke serve-smoke crash-smoke cluster-smoke chaos

@@ -64,6 +64,9 @@ func main() {
 		hedgeAfter = flag.Duration("hedge-after", 0,
 			"launch a second identical attempt for jobs still running after this long;\n"+
 				"the first published result wins (0 = off)")
+		shardID = flag.String("shard-id", "",
+			"name of this daemon within a simrouter cluster; operational identity\n"+
+				"only (surfaces on /metrics), never part of a spec or result")
 		intra = flag.Int("intra", 1,
 			"intra-run workers per simulation (host + N-1 device steppers; results\n"+
 				"stay byte-identical, so cached entries are shared across settings)")
@@ -83,6 +86,7 @@ func main() {
 		RunBudget:    *runBudget,
 		MaxRetries:   *retries,
 		HedgeAfter:   *hedgeAfter,
+		ShardID:      *shardID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)

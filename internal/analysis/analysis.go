@@ -121,15 +121,21 @@ var defaultAllow = map[string][]string{
 		"internal/experiments/speed.go", // §6.3 speed tables measure wall clock
 		"internal/simserve/",            // serving metrics/timeouts are wall-clock by nature
 		"cmd/simd/",                     // daemon shutdown deadlines
+		"internal/cluster/",             // probe intervals, hedge timers, admission refill
+		"cmd/simrouter/",                // router shutdown deadlines
 	},
 	"nondet-rand": {
 		"internal/simserve/", // serving-side jitter/sampling, never simulation state
 		"cmd/simd/",
+		"internal/cluster/", // routing-side jitter, never simulation state
+		"cmd/simrouter/",
 	},
 	"stray-goroutine": {
 		"internal/sweep/",    // the one sanctioned home of parallelism
 		"internal/simserve/", // request handling + waiting on pool jobs
 		"cmd/simd/",          // HTTP serve loop + signal-driven shutdown
+		"internal/cluster/",  // concurrent forwarding, probe + hot-set loops
+		"cmd/simrouter/",     // HTTP serve loop + signal-driven shutdown
 	},
 }
 

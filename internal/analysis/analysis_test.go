@@ -215,15 +215,21 @@ func TestAllowlistScope(t *testing.T) {
 			"internal/experiments/speed.go",
 			"internal/simserve/",
 			"cmd/simd/",
+			"internal/cluster/",
+			"cmd/simrouter/",
 		},
 		"nondet-rand": {
 			"internal/simserve/",
 			"cmd/simd/",
+			"internal/cluster/",
+			"cmd/simrouter/",
 		},
 		"stray-goroutine": {
 			"internal/sweep/",
 			"internal/simserve/",
 			"cmd/simd/",
+			"internal/cluster/",
+			"cmd/simrouter/",
 		},
 	}
 	if len(defaultAllow) != len(want) {

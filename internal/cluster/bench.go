@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nexsim/internal/experiments"
+	"nexsim/internal/simserve"
+)
+
+// BenchClusterSweep is the paperbench "clustersweep" harness: it serves
+// one cached design sweep twice — directly from a single simd engine
+// and through a 3-shard router — and reports the wall-time cost of the
+// routing tier on the cache-hit path, plus the property that pays for
+// it: routed results are byte-identical to direct ones, from any shard.
+// Everything runs in-process over real loopback sockets (the process-
+// level variant is scripts/cluster_smoke.sh).
+func BenchClusterSweep(w io.Writer) error {
+	const shards = 3
+	specs := make([]experiments.Spec, 8)
+	for i := range specs {
+		specs[i] = experiments.Spec{Bench: "npb-ep.8", Seed: uint64(i + 1)}
+	}
+
+	// Direct tier: one engine, no router.
+	direct := &LocalShard{Server: simserve.New(simserve.Config{})}
+	if err := direct.serve("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() { direct.Stop(); direct.Server.Close() }()
+	directCold, directRes, err := timedSweep(direct.Addr, specs)
+	if err != nil {
+		return fmt.Errorf("direct cold: %w", err)
+	}
+	directWarm, directRes2, err := timedSweep(direct.Addr, specs)
+	if err != nil {
+		return fmt.Errorf("direct warm: %w", err)
+	}
+
+	// Routed tier: the same sweep through a consistent-hash router.
+	lc, err := NewLocal(shards, simserve.Config{}, RouterConfig{})
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	routedCold, _, err := timedSweep(lc.RouterAddr, specs)
+	if err != nil {
+		return fmt.Errorf("routed cold: %w", err)
+	}
+	routedWarm, routedRes, err := timedSweep(lc.RouterAddr, specs)
+	if err != nil {
+		return fmt.Errorf("routed warm: %w", err)
+	}
+
+	identical := 0
+	for i := range specs {
+		if bytes.Equal(directRes[i], routedRes[i]) && bytes.Equal(directRes[i], directRes2[i]) {
+			identical++
+		}
+	}
+
+	fmt.Fprintf(w, "cached sweep of %d specs (npb-ep.8, seeds 1-%d): direct simd vs %d-shard router\n",
+		len(specs), len(specs), shards)
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "tier", "cold", "warm")
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "direct", roundMS(directCold), roundMS(directWarm))
+	fmt.Fprintf(w, "%-8s %12s %12s\n", "routed", roundMS(routedCold), roundMS(routedWarm))
+	fmt.Fprintf(w, "byte-identical results %d/%d; router warm overhead %s\n",
+		identical, len(specs), roundMS(routedWarm-directWarm))
+	if identical != len(specs) {
+		return fmt.Errorf("cluster: routed results diverged from direct (%d/%d identical)", identical, len(specs))
+	}
+	return nil
+}
+
+// timedSweep submits specs as one wait=true batch to addr's job API and
+// returns the wall time plus the per-spec result bytes.
+func timedSweep(addr string, specs []experiments.Spec) (time.Duration, []json.RawMessage, error) {
+	body, err := json.Marshal(struct {
+		Specs []experiments.Spec `json:"specs"`
+		Wait  bool               `json:"wait"`
+	}{specs, true})
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	resp, err := http.Post("http://"+addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var env struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return 0, nil, err
+	}
+	elapsed := time.Since(start)
+	if len(env.Results) != len(specs) {
+		return 0, nil, fmt.Errorf("got %d results for %d specs", len(env.Results), len(specs))
+	}
+	return elapsed, env.Results, nil
+}
+
+// roundMS renders a duration at 10µs resolution (stable column widths).
+func roundMS(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"nexsim/internal/experiments"
+)
+
+// RouterConfig parameterizes the cluster router.
+type RouterConfig struct {
+	// Shards is the static simd shard list (host:port).
+	Shards []string
+	// VNodes is the virtual-node count per shard (default 64).
+	VNodes int
+	// LoadFactor is the bounded-load ceiling factor c (default 1.25): a
+	// key skips its home shard while that shard carries more than
+	// c×⌈(inflight+1)/liveShards⌉ in-flight sub-batches. <= 1 disables
+	// load bounding (pure consistent hashing).
+	LoadFactor float64
+	// HedgeAfter launches a duplicate sub-batch on the next replica for
+	// any wait=true forward still unanswered after this long; the first
+	// answer wins and the loser is byte-compared as a determinism probe.
+	// 0 disables hedging (failover on hard errors still applies).
+	HedgeAfter time.Duration
+	// ForwardTimeout caps one forwarded request (default 5m; it must
+	// exceed the shards' wait timeout or long sweeps degrade to polls).
+	ForwardTimeout time.Duration
+
+	// Membership knobs (see MembershipConfig).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailThreshold int
+	ReadmitOKs    int
+	Probe         func(shard string) bool // test override
+
+	// HotSetK is the number of hottest content addresses replicated to
+	// every shard each HotSetInterval (default 8; 0 disables the
+	// exchange loop — PushHotSet can still be driven manually).
+	HotSetK int
+	// HotSetInterval is the digest-exchange period (default 5s).
+	HotSetInterval time.Duration
+
+	// Admission is the per-tenant token-bucket gate (zero RatePerSec
+	// admits everything).
+	Admission AdmissionConfig
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 5 * time.Minute
+	}
+	if c.HotSetK <= 0 {
+		c.HotSetK = 8
+	}
+	if c.HotSetInterval <= 0 {
+		c.HotSetInterval = 5 * time.Second
+	}
+	return c
+}
+
+// Routing failures the HTTP layer maps to status codes.
+var (
+	errNoLiveShards = errors.New("cluster: no live shards")
+	errShed         = errors.New("cluster: all replicas at capacity")
+	errExhausted    = errors.New("cluster: all replicas failed")
+)
+
+// Router is the stateless cluster front end: it owns no simulation
+// state, only soft state (liveness, hotness, in-flight counts) that any
+// replacement router rebuilds from traffic. Losing a router loses
+// nothing but open connections.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+	mem  *Membership
+	adm  *Admission
+	hot  *hotTracker
+
+	clients map[string]*http.Client // per-shard connection pools
+
+	mu       sync.Mutex
+	inflight map[string]int // outstanding sub-batches by shard
+	m        *routerMetrics
+
+	stop chan struct{}
+}
+
+// NewRouter builds a router over the static shard list. Call Start to
+// launch the health-probe and hot-set loops, Close to stop them.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: at least one shard required")
+	}
+	r := &Router{
+		cfg:  cfg,
+		ring: NewRing(cfg.Shards, cfg.VNodes),
+		mem: NewMembership(MembershipConfig{
+			Shards:        cfg.Shards,
+			ProbeInterval: cfg.ProbeInterval,
+			ProbeTimeout:  cfg.ProbeTimeout,
+			FailThreshold: cfg.FailThreshold,
+			ReadmitOKs:    cfg.ReadmitOKs,
+			Probe:         cfg.Probe,
+		}),
+		adm:      NewAdmission(cfg.Admission),
+		hot:      newHotTracker(),
+		clients:  make(map[string]*http.Client, len(cfg.Shards)),
+		inflight: make(map[string]int, len(cfg.Shards)),
+		m:        newRouterMetrics(),
+		stop:     make(chan struct{}),
+	}
+	for _, s := range cfg.Shards {
+		r.clients[s] = &http.Client{
+			Timeout: cfg.ForwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return r, nil
+}
+
+// Start launches the background loops: periodic /healthz probing and
+// the hot-set digest exchange.
+func (r *Router) Start() {
+	r.mem.Start()
+	go r.hotsetLoop()
+}
+
+// Close stops the background loops. In-flight forwards complete on
+// their own contexts.
+func (r *Router) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.mem.Close()
+}
+
+// Membership exposes the liveness tracker (smoke tooling and tests).
+func (r *Router) Membership() *Membership { return r.mem }
+
+// client returns the shard's pooled HTTP client. The map is immutable
+// after NewRouter, so reads need no lock.
+func (r *Router) client(shard string) *http.Client { return r.clients[shard] }
+
+// specItem is one routed spec: its position in the client's batch, its
+// normalized form, and its content address (the placement key).
+type specItem struct {
+	idx  int
+	spec experiments.Spec
+	id   string
+}
+
+// itemResult is the routed outcome for one spec.
+type itemResult struct {
+	id     string
+	status string          // simserve job status; "queued" when unknown
+	result json.RawMessage // canonical JobResult bytes (wait=true, finished)
+	shard  string          // shard that served it (determinism probe)
+}
+
+// --- HTTP surface ---
+
+// submitRequest mirrors the simserve POST /jobs body.
+type submitRequest struct {
+	Specs []experiments.Spec `json:"specs"`
+	Wait  bool               `json:"wait"`
+}
+
+// maxBatch mirrors the shard-side bound.
+const maxBatch = 4096
+
+// TenantHeader names the request header carrying the tenant identity
+// for admission control.
+const TenantHeader = "X-Tenant"
+
+// Handler returns the router's HTTP routes — the same job API the
+// shards serve, so clients are oblivious to whether they talk to one
+// simd or a cluster.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("POST /jobs", r.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", r.handleJob)
+	return mux
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if r.mem.LiveCount() == 0 {
+		http.Error(w, "no live shards", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write([]byte("ok\n")); err != nil {
+		return
+	}
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	r.renderMetrics(w)
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	r.m.requestsTotal++
+	r.mu.Unlock()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var sr submitRequest
+	if err := dec.Decode(&sr); err != nil {
+		r.countBad()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(sr.Specs) == 0 {
+		r.countBad()
+		writeError(w, http.StatusBadRequest, "no specs submitted")
+		return
+	}
+	if len(sr.Specs) > maxBatch {
+		r.countBad()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d specs exceeds the %d-spec limit", len(sr.Specs), maxBatch))
+		return
+	}
+
+	// Tenant gate first: an over-quota tenant must not cost normalization
+	// work either.
+	tenant := req.Header.Get(TenantHeader)
+	if ok, retry := r.adm.Allow(tenant, len(sr.Specs)); !ok {
+		r.mu.Lock()
+		r.m.admissionRejects++
+		r.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over admission quota; retry after %ds", tenantLabel(tenant), retry))
+		return
+	}
+
+	items := make([]specItem, len(sr.Specs))
+	for i, spec := range sr.Specs {
+		n, err := spec.Normalized()
+		if err != nil {
+			r.countBad()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+		id, err := n.ID()
+		if err != nil {
+			r.countBad()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+		items[i] = specItem{idx: i, spec: n, id: id}
+		r.hot.Note(id)
+	}
+	r.mu.Lock()
+	r.m.specsTotal += int64(len(items))
+	r.mu.Unlock()
+
+	results, err := r.routeItems(req.Context(), items, sr.Wait, nil)
+	if err != nil {
+		switch {
+		case errors.Is(err, errNoLiveShards):
+			r.mu.Lock()
+			r.m.noShards++
+			r.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "no live shards")
+		case errors.Is(err, errShed):
+			r.mu.Lock()
+			r.m.shedded++
+			r.mu.Unlock()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(items[0].id)))
+			writeError(w, http.StatusTooManyRequests, "cluster at capacity; resubmit")
+		case errors.Is(err, req.Context().Err()):
+			// Client went away; nothing to write.
+		default:
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("forwarding failed: %v", err))
+		}
+		return
+	}
+
+	if sr.Wait && allFinished(results) {
+		raws := make([]json.RawMessage, len(results))
+		for i, res := range results {
+			raws[i] = res.result
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Results []json.RawMessage `json:"results"`
+		}{raws})
+		return
+	}
+	statuses := make([]jobStatus, len(results))
+	for i, res := range results {
+		statuses[i] = jobStatus{ID: res.id, Status: res.status}
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{statuses})
+}
+
+// jobStatus mirrors the shard-side async response entry.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+func allFinished(results []itemResult) bool {
+	for _, res := range results {
+		if len(res.result) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// handleJob resolves a poll by content address: the id's replicas in
+// preference order, so a result that landed on a hedge target is still
+// found after its home shard forgets it.
+func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	for _, shard := range r.ring.Order(id) {
+		if !r.mem.Live(shard) {
+			continue
+		}
+		resp, err := r.client(shard).Get(fmt.Sprintf("http://%s/jobs/%s", shard, id))
+		if err != nil {
+			r.mem.ReportFailure(shard)
+			continue
+		}
+		var body json.RawMessage
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		_ = resp.Body.Close()
+		if derr != nil || resp.StatusCode == http.StatusNotFound {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		body = append(body, '\n')
+		if _, err := w.Write(body); err != nil {
+			return
+		}
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job "+id)
+}
+
+func (r *Router) countBad() {
+	r.mu.Lock()
+	r.m.badRequests++
+	r.mu.Unlock()
+}
+
+// tenantLabel names the bucket a request was charged to.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return DefaultTenant
+	}
+	return tenant
+}
+
+// retryAfterSecs derives a deterministic 1–3s Retry-After from a spec's
+// content address: synchronized clients that all hit a full cluster
+// with distinct specs spread their retries instead of re-stampeding in
+// unison, while the same spec always backs off identically (tests stay
+// byte-stable).
+func retryAfterSecs(id string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id)) // fnv Write cannot fail
+	return 1 + int(h.Sum64()%3)
+}
+
+// groupByShard buckets items onto their bounded-load placements,
+// excluding shards the caller has already failed over from. Group order
+// is deterministic (sorted by shard name).
+func (r *Router) groupByShard(items []specItem, exclude map[string]bool) (map[string][]specItem, error) {
+	live := func(s string) bool { return r.mem.Live(s) && !exclude[s] }
+	load := func(s string) int {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.inflight[s]
+	}
+	groups := map[string][]specItem{}
+	for _, it := range items {
+		shard, ok := r.ring.BoundedPick(it.id, r.cfg.LoadFactor, live, load)
+		if !ok {
+			if r.mem.LiveCount() == 0 {
+				return nil, errNoLiveShards
+			}
+			return nil, errExhausted
+		}
+		groups[shard] = append(groups[shard], it)
+	}
+	return groups, nil
+}
+
+// sortedShardKeys returns a group map's keys in stable order.
+func sortedShardKeys(groups map[string][]specItem) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

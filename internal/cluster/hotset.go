@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The replicated hot-set: consistent hashing gives each content address
+// one home shard, which is right for the long tail but wrong for the
+// head — a sweep every tenant re-runs should hit cache on *any* shard.
+// The router (which sees all traffic, so hotness is its cheapest
+// signal) counts submissions per content address with periodic decay,
+// and every HotSetInterval pushes the top-K finished results to every
+// live shard's POST /cluster/hotset endpoint. Shards verify each pushed
+// entry against its content address before promoting it into their LRU
+// (simserve.Server.Promote), so a buggy or malicious pusher can never
+// poison a cache: determinism makes the result self-certifying.
+
+// hotTracker counts per-address submission frequency with exponential
+// decay (halved every decay round, sub-unity counts dropped), so the
+// hot set follows the working set rather than all-time popularity.
+type hotTracker struct {
+	mu     sync.Mutex
+	counts map[string]float64
+}
+
+func newHotTracker() *hotTracker {
+	return &hotTracker{counts: map[string]float64{}}
+}
+
+// Note records one submission of the given content address.
+func (h *hotTracker) Note(id string) {
+	h.mu.Lock()
+	h.counts[id]++
+	h.mu.Unlock()
+}
+
+// TopK returns the k hottest addresses, hottest first; count ties break
+// by address so the selection is deterministic.
+func (h *hotTracker) TopK(k int) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ids := make([]string, 0, len(h.counts))
+	for id := range h.counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if h.counts[ids[i]] != h.counts[ids[j]] {
+			return h.counts[ids[i]] > h.counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// Decay halves every count and drops the cold tail.
+func (h *hotTracker) Decay() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, c := range h.counts {
+		c /= 2
+		if c < 0.5 {
+			delete(h.counts, id)
+		} else {
+			h.counts[id] = c
+		}
+	}
+}
+
+// HotEntry is one pushed result on the /cluster/hotset wire: the
+// canonical JobResult bytes plus the content address and failure flag
+// the receiving shard re-verifies.
+type HotEntry struct {
+	ID     string          `json:"id"`
+	Failed bool            `json:"failed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// hotsetPush is the POST /cluster/hotset body.
+type hotsetPush struct {
+	Entries []HotEntry `json:"entries"`
+}
+
+// hotsetLoop periodically replicates the hot set (stopped by Close).
+func (r *Router) hotsetLoop() {
+	ticker := time.NewTicker(r.cfg.HotSetInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.PushHotSet()
+			r.hot.Decay()
+		}
+	}
+}
+
+// PushHotSet runs one digest exchange: resolve the current top-K
+// addresses to finished results (fetched from whichever replica has
+// them) and push the batch to every live shard. Addresses still running
+// or unknown are skipped this round — they stay hot and are retried on
+// the next exchange.
+func (r *Router) PushHotSet() {
+	ids := r.hot.TopK(r.cfg.HotSetK)
+	var entries []HotEntry
+	for _, id := range ids {
+		if e, ok := r.fetchResult(id); ok {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	body, err := json.Marshal(hotsetPush{Entries: entries})
+	if err != nil {
+		return
+	}
+	pushed := int64(0)
+	for _, shard := range r.ring.Shards() {
+		if !r.mem.Live(shard) {
+			continue
+		}
+		resp, err := r.client(shard).Post(
+			"http://"+shard+"/cluster/hotset", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.mem.ReportFailure(shard)
+			continue
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			pushed++
+		}
+	}
+	r.mu.Lock()
+	r.m.hotsetRounds++
+	r.m.hotsetEntries += int64(len(entries))
+	r.m.hotsetPushes += pushed
+	r.mu.Unlock()
+}
+
+// fetchResult resolves one content address to its finished result by
+// polling the address's replicas in preference order. ok is false while
+// the job is still running or when no replica knows it.
+func (r *Router) fetchResult(id string) (HotEntry, bool) {
+	for _, shard := range r.ring.Order(id) {
+		if !r.mem.Live(shard) {
+			continue
+		}
+		resp, err := r.client(shard).Get(fmt.Sprintf("http://%s/jobs/%s", shard, id))
+		if err != nil {
+			r.mem.ReportFailure(shard)
+			continue
+		}
+		var env struct {
+			ID     string          `json:"id"`
+			Status string          `json:"status"`
+			Result json.RawMessage `json:"result"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&env)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			continue
+		}
+		switch env.Status {
+		case "done", "failed":
+			if len(env.Result) == 0 {
+				continue
+			}
+			return HotEntry{ID: id, Failed: env.Status == "failed", Result: env.Result}, true
+		}
+	}
+	return HotEntry{}, false
+}

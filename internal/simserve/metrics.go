@@ -19,9 +19,15 @@ type metrics struct {
 	jobsSubmitted int64 // specs accepted onto the queue (fresh runs)
 	jobsCompleted int64
 	jobsFailed    int64
+	jobsCanceled  int64 // queued jobs skipped at pickup (all waiters gone)
 	jobsDeduped   int64 // submits coalesced onto an in-flight identical run
 	cacheHits     int64 // submits served from the result cache
 	cacheMisses   int64
+
+	// Cluster hot-set counters (POST /cluster/hotset).
+	hotsetPromoted   int64 // pushed results verified and cached
+	hotsetDuplicates int64 // pushes for results already cached here
+	hotsetRejected   int64 // pushes failing content-address verification
 
 	workersBusy int64 // currently executing jobs (gauge)
 
@@ -70,10 +76,14 @@ func (m *metrics) observeRun(bench string, wallMS float64) {
 // render writes the metrics page. queueDepth/queueCap/workers are
 // sampled by the caller from the pool, cacheEntries/cacheEvictions from
 // the result cache, and ck from the prefix-checkpoint store.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEntries int, cacheEvictions int64, ck checkpoint.StoreStats) {
+func (m *metrics) render(w io.Writer, shardID string, queueDepth, queueCap, workers int, cacheEntries int, cacheEvictions int64, ck checkpoint.StoreStats) {
+	if shardID != "" {
+		fmt.Fprintf(w, "simserve_shard{id=%q} 1\n", shardID)
+	}
 	fmt.Fprintf(w, "simserve_jobs_submitted %d\n", m.jobsSubmitted)
 	fmt.Fprintf(w, "simserve_jobs_completed %d\n", m.jobsCompleted)
 	fmt.Fprintf(w, "simserve_jobs_failed %d\n", m.jobsFailed)
+	fmt.Fprintf(w, "simserve_jobs_canceled %d\n", m.jobsCanceled)
 	fmt.Fprintf(w, "simserve_jobs_deduped %d\n", m.jobsDeduped)
 	fmt.Fprintf(w, "simserve_cache_hits %d\n", m.cacheHits)
 	fmt.Fprintf(w, "simserve_cache_misses %d\n", m.cacheMisses)
@@ -99,6 +109,9 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap, workers int, cacheEn
 	fmt.Fprintf(w, "simserve_hedges_won %d\n", m.hedgesWon)
 	fmt.Fprintf(w, "simserve_hedges_wasted %d\n", m.hedgesWasted)
 	fmt.Fprintf(w, "simserve_hedge_mismatches %d\n", m.hedgeMismatches)
+	fmt.Fprintf(w, "simserve_hotset_promoted %d\n", m.hotsetPromoted)
+	fmt.Fprintf(w, "simserve_hotset_duplicates %d\n", m.hotsetDuplicates)
+	fmt.Fprintf(w, "simserve_hotset_rejected %d\n", m.hotsetRejected)
 	fmt.Fprintf(w, "simserve_wal_recovered_results %d\n", m.walRecoveredResults)
 	fmt.Fprintf(w, "simserve_wal_recovered_pending %d\n", m.walRecoveredPending)
 	fmt.Fprintf(w, "simserve_wal_pending_dropped %d\n", m.walPendingDropped)

@@ -279,7 +279,7 @@ func TestWALPendingResubmittedAfterCrash(t *testing.T) {
 			<-stuck // wedged until test cleanup — the "crashed" run
 			return core.Result{}, nil
 		}})
-	if _, err := srv1.submit(spec); err != nil {
+	if _, err := srv1.submit(spec, false); err != nil {
 		t.Fatal(err)
 	}
 	// No Close: srv1 is abandoned mid-run, like a kill -9.

@@ -25,6 +25,7 @@ package simserve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +98,11 @@ type Config struct {
 	// and prefix checkpoints write through to StateDir/checkpoints.
 	// Empty means fully in-memory.
 	StateDir string
+	// ShardID names this daemon within a simrouter cluster. It is
+	// operational identity only — never part of a spec or result, which
+	// stay location-transparent — and surfaces on /metrics so cluster
+	// tooling can tell which shard answered a scrape.
+	ShardID string
 	// Runner executes one normalized spec as the given attempt number
 	// (default: experiments.RunSpecAttempt under RunBudget). Tests
 	// inject instrumented runners here.
@@ -176,6 +183,10 @@ const (
 	StatusRunning = "running"
 	StatusDone    = "done"
 	StatusFailed  = "failed"
+	// StatusCanceled marks a queued job skipped at worker pickup because
+	// every client waiting on it had disconnected (nobody left to answer,
+	// nothing yet computed worth keeping).
+	StatusCanceled = "canceled"
 )
 
 // Submission errors the HTTP layer maps to status codes.
@@ -198,6 +209,13 @@ type job struct {
 	failed    bool
 	transient bool
 	published bool
+	// keep pins the job to completion regardless of waiters: async
+	// submits (the client holds the id and will poll) and WAL-recovered
+	// work. waiters counts wait=true requests currently blocked on the
+	// job; a queued job whose last waiter disconnects before a worker
+	// picks it up is skipped, freeing its queue slot for live traffic.
+	keep    bool
+	waiters int
 }
 
 // closedDone is the pre-closed channel completed-on-arrival jobs
@@ -287,7 +305,7 @@ func Open(cfg Config) (*Server, error) {
 	// it into the compacted WAL). The queue is empty at open, so only a
 	// pending set larger than the backlog can drop — counted, not silent.
 	for _, sp := range rec.pending {
-		if _, err := s.submit(sp); err != nil {
+		if _, err := s.submit(sp, false); err != nil {
 			s.mu.Lock()
 			s.m.walPendingDropped++
 			s.mu.Unlock()
@@ -318,8 +336,11 @@ func (s *Server) Close() {
 
 // submit routes one spec: cache hit, singleflight attach, or fresh
 // enqueue. Any returned job either is done or will close done when it
-// is.
-func (s *Server) submit(raw experiments.Spec) (*job, error) {
+// is. waiter=true registers the calling request as a live waiter on the
+// returned fresh/deduped job — the caller must balance it with
+// releaseWaiters — while waiter=false pins the job to completion even
+// if every client goes away (async submits, WAL recovery).
+func (s *Server) submit(raw experiments.Spec, waiter bool) (*job, error) {
 	n, err := raw.Normalized()
 	if err != nil {
 		return nil, err
@@ -341,6 +362,7 @@ func (s *Server) submit(raw experiments.Spec) (*job, error) {
 	}
 	if j, ok := s.jobs[id]; ok {
 		s.m.jobsDeduped++
+		s.attach(j, waiter)
 		return j, nil
 	}
 	s.m.cacheMisses++
@@ -348,6 +370,7 @@ func (s *Server) submit(raw experiments.Spec) (*job, error) {
 		return nil, ErrShuttingDown
 	}
 	j := &job{id: id, spec: n, done: make(chan struct{}), status: StatusQueued}
+	s.attach(j, waiter)
 	switch err := s.pool.TrySubmit(func() { s.run(j) }); {
 	case errors.Is(err, sweep.ErrClosed):
 		return nil, ErrShuttingDown
@@ -364,12 +387,61 @@ func (s *Server) submit(raw experiments.Spec) (*job, error) {
 	return j, nil
 }
 
+// attach records one more interested party on a job (caller holds the
+// lock).
+func (s *Server) attach(j *job, waiter bool) {
+	if waiter {
+		j.waiters++
+	} else {
+		j.keep = true
+	}
+}
+
+// releaseWaiters detaches one waiter from each job (a wait=true request
+// returning, however it returns). Jobs whose last waiter left while
+// still queued are skipped when a worker picks them up.
+func (s *Server) releaseWaiters(jobs []*job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		if j.waiters > 0 {
+			j.waiters--
+		}
+	}
+}
+
+// keepJobs pins jobs to completion: the client has been told their ids
+// (202 + poll) or that they were accepted, so results must materialize
+// even if the connection is gone.
+func (s *Server) keepJobs(jobs []*job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		j.keep = true
+	}
+}
+
 // run executes one fresh job on a pool worker: attempt, retry
 // transients with deterministic backoff, and publish the final result.
 // When hedging is configured, a straggling primary gets a second
 // identical attempt racing it; the first published result wins.
+//
+// A job every waiter abandoned while it sat in the queue is skipped
+// here instead of executed: the queue slot was already freed by the
+// pickup, and running it would burn a worker to compute an answer
+// nobody is waiting for. (Its WAL submit record, if any, is only
+// settled at the next compaction — a crash before then re-runs the
+// spec, which is merely wasted work, never wrong answers.)
 func (s *Server) run(j *job) {
 	s.mu.Lock()
+	if !j.keep && j.waiters == 0 {
+		j.status = StatusCanceled
+		delete(s.jobs, j.id)
+		s.m.jobsCanceled++
+		s.mu.Unlock()
+		close(j.done)
+		return
+	}
 	j.status = StatusRunning
 	s.m.workersBusy++
 	s.mu.Unlock()
@@ -563,6 +635,54 @@ func (s *Server) safeRun(spec experiments.Spec, attempt int) (res core.Result, e
 	return s.cfg.Runner(spec, attempt)
 }
 
+// Promote installs an externally produced result into the cache — the
+// receiving half of the cluster hot-set protocol. The entry is only
+// accepted after re-verification against its content address
+// (jr.Spec.ID() == id), so a corrupt or hostile pusher cannot poison
+// the cache: determinism makes every result self-certifying. Transient
+// failures are rejected like everywhere else — they are answers, not
+// facts. With StateDir set the promotion journals like a local run, so
+// a restarted shard keeps its pushed hot set.
+func (s *Server) Promote(id string, failed bool, result []byte) error {
+	var jr JobResult
+	if err := json.Unmarshal(result, &jr); err != nil {
+		s.noteHotsetReject()
+		return fmt.Errorf("simserve: promote: %w", err)
+	}
+	specID, err := jr.Spec.ID()
+	if err != nil || specID != id {
+		s.noteHotsetReject()
+		return fmt.Errorf("simserve: promote: content address mismatch for %s", id)
+	}
+	if jr.ErrorKind == ErrorKindTransient {
+		s.noteHotsetReject()
+		return fmt.Errorf("simserve: promote: transient failures are not cacheable")
+	}
+	if failed != (jr.Error != "") {
+		s.noteHotsetReject()
+		return fmt.Errorf("simserve: promote: failed flag disagrees with result for %s", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache.get(id); ok {
+		// Already warm here; the get refreshed its LRU position.
+		s.m.hotsetDuplicates++
+		return nil
+	}
+	s.cache.put(&cacheEntry{id: id, result: result, failed: failed})
+	s.m.hotsetPromoted++
+	if werr := s.wal.appendDone(id, failed, result); werr != nil {
+		s.m.walAppendErrors++
+	}
+	return nil
+}
+
+func (s *Server) noteHotsetReject() {
+	s.mu.Lock()
+	s.m.hotsetRejected++
+	s.mu.Unlock()
+}
+
 // lookup finds a job's current status and (when finished) result.
 func (s *Server) lookup(id string) (status string, result []byte, ok bool) {
 	s.mu.Lock()
@@ -605,7 +725,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /cluster/hotset", s.handleHotset)
 	return mux
+}
+
+// hotsetEntry is one pushed result on the POST /cluster/hotset wire
+// (the router's hot-set replication protocol). The result bytes are a
+// full JobResult; Promote re-derives the content address from them, so
+// the id field is a claim to verify, not a fact to trust.
+type hotsetEntry struct {
+	ID     string          `json:"id"`
+	Failed bool            `json:"failed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// handleHotset accepts a hot-set push: each entry is verified against
+// its content address and promoted into the result cache. Bad entries
+// are rejected individually — one corrupt entry must not block the
+// rest of the batch.
+func (s *Server) handleHotset(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	var req struct {
+		Entries []hotsetEntry `json:"entries"`
+	}
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	promoted, rejected := 0, 0
+	for _, e := range req.Entries {
+		if err := s.Promote(e.ID, e.Failed, e.Result); err != nil {
+			rejected++
+			continue
+		}
+		promoted++
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Promoted int `json:"promoted"`
+		Rejected int `json:"rejected"`
+	}{promoted, rejected})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -627,7 +785,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	depth, capacity, workers := s.pool.Depth(), s.pool.Capacity(), s.pool.Workers()
 	ck := experiments.CheckpointStats()
 	s.mu.Lock()
-	s.m.render(&buf, depth, capacity, workers, s.cache.len(), s.cache.evictions, ck)
+	s.m.render(&buf, s.cfg.ShardID, depth, capacity, workers, s.cache.len(), s.cache.evictions, ck)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := w.Write(buf.Bytes()); err != nil {
@@ -654,13 +812,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	jobs := make([]*job, 0, len(req.Specs))
+	if req.Wait {
+		// Balance every waiter this request registered, however the
+		// request ends (result, timeout, disconnect, mid-batch error).
+		defer func() { s.releaseWaiters(jobs) }()
+	}
 	for i, spec := range req.Specs {
-		j, err := s.submit(spec)
+		j, err := s.submit(spec, req.Wait)
 		switch {
 		case err == nil:
 			jobs = append(jobs, j)
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			// The specs accepted so far were promised to the client
+			// ("accepted %d"), so they run to completion even though this
+			// response is an error.
+			s.keepJobs(jobs)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(spec)))
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("spec %d: job queue full (accepted %d of %d specs; resubmit the rest)",
 					i, len(jobs), len(req.Specs)))
@@ -683,9 +850,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	results := make([]json.RawMessage, len(jobs))
 	for i, j := range jobs {
 		remaining := time.Until(deadline)
-		if remaining <= 0 || !waitDone(j, remaining) {
-			// Timed out: everything is still queued/running; hand the
-			// client the job IDs to poll.
+		done, gone := waitDone(r.Context(), j, remaining)
+		if gone {
+			// The client disconnected mid-wait: stop blocking a handler
+			// goroutine on an answer nobody will read. The deferred
+			// release lets still-queued jobs cancel at pickup.
+			return
+		}
+		if remaining <= 0 || !done {
+			// Timed out: hand the client the job IDs to poll. They now
+			// must complete even if this client never returns.
+			s.keepJobs(jobs)
 			writeJSON(w, http.StatusAccepted, s.statusEnvelope(jobs))
 			return
 		}
@@ -696,6 +871,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Results []json.RawMessage `json:"results"`
 	}{results})
+}
+
+// retryAfterSecs derives a deterministic 1–3s Retry-After from the
+// refused spec's content address: a fleet of synchronized clients
+// sweeping distinct specs spreads its retries instead of re-stampeding
+// a recovering queue in unison, while any given spec (and so any given
+// test) always sees the same value.
+func retryAfterSecs(spec experiments.Spec) int {
+	id, err := spec.ID()
+	if err != nil {
+		return 1
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id)) // fnv Write cannot fail
+	return 1 + int(h.Sum64()%3)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -725,13 +915,21 @@ func (s *Server) statusEnvelope(jobs []*job) any {
 	}{statuses}
 }
 
-// waitDone waits for j to finish, up to d.
-func waitDone(j *job, d time.Duration) bool {
+// waitDone waits for j to finish, up to d, observing the request
+// context: gone=true means the client disconnected first.
+func waitDone(ctx context.Context, j *job, d time.Duration) (done, gone bool) {
+	if d <= 0 {
+		return false, false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
 	case <-j.done:
-		return true
-	case <-time.After(d):
-		return false
+		return true, false
+	case <-t.C:
+		return false, false
+	case <-ctx.Done():
+		return false, true
 	}
 }
 

@@ -364,7 +364,7 @@ func TestGracefulDrain(t *testing.T) {
 	defer ts.Close()
 
 	spec := experiments.Spec{Bench: "npb-ep.8", Seed: 99}
-	j, err := srv.submit(spec)
+	j, err := srv.submit(spec, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestGracefulDrain(t *testing.T) {
 	}
 
 	// Draining refuses fresh work...
-	if _, err := srv.submit(experiments.Spec{Bench: "npb-ep.8", Seed: 100}); err == nil {
+	if _, err := srv.submit(experiments.Spec{Bench: "npb-ep.8", Seed: 100}, false); err == nil {
 		t.Fatal("submit accepted while draining")
 	}
 

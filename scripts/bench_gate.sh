@@ -13,7 +13,7 @@
 # earlier experiments absorbed, and drown the signal.
 #
 # Environment knobs:
-#   BASELINE  baseline JSON (default BENCH_pr8.json)
+#   BASELINE  baseline JSON (default BENCH_pr10.json)
 #   TOL       allowed slowdown factor per table (default 1.5)
 #   MINWALL   skip tables whose baseline wall is below this many ms
 #             (default 200): sub-200ms tables are dominated by
@@ -26,7 +26,7 @@
 #             >1 so stepper lanes are real on single-core CI)
 set -eu
 
-BASELINE="${BASELINE:-BENCH_pr8.json}"
+BASELINE="${BASELINE:-BENCH_pr10.json}"
 TOL="${TOL:-1.5}"
 MINWALL="${MINWALL:-200}"
 PARALLEL="${PARALLEL:-}"
